@@ -1,0 +1,369 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for
+// the shape comparison). Each benchmark runs the relevant pipeline
+// stage and renders the corresponding output; `go test -bench=. -benchmem`
+// therefore reproduces the complete evaluation.
+//
+// The heavy campaign (collection + real-time scan + hitlist scan) is
+// executed once per process and shared, as the paper derives all of its
+// tables from one measurement run.
+package ntpscan_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"ntpscan"
+	"ntpscan/internal/analysis"
+	"ntpscan/internal/experiments"
+)
+
+// benchOptions reads the scale from NTPSCAN_SCALE (a multiplier on the
+// default bench scales) so larger reproductions can be requested
+// without recompiling: NTPSCAN_SCALE=5 go test -bench=.
+func benchOptions() ntpscan.Options {
+	mult := 1.0
+	if v := os.Getenv("NTPSCAN_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			mult = f
+		}
+	}
+	return ntpscan.Options{
+		Seed:        20240720,
+		DeviceScale: 3e-3 * mult,
+		AddrScale:   6e-6 * mult,
+		ASScale:     0.03,
+		Workers:     64,
+	}
+}
+
+var (
+	benchOnce  sync.Once
+	benchSuite *ntpscan.Suite
+)
+
+func sharedSuite(b *testing.B) *ntpscan.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSuite = ntpscan.RunExperiments(benchOptions())
+	})
+	return benchSuite
+}
+
+// BenchmarkFullCampaign measures the complete pipeline end to end:
+// world build, vantage deployment, four-week collection with real-time
+// scanning, hitlist build + batch scan, R&L-era run.
+func BenchmarkFullCampaign(b *testing.B) {
+	opts := benchOptions()
+	opts.DeviceScale /= 5 // keep per-iteration cost sane
+	opts.AddrScale /= 3
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(1000 + i)
+		s := ntpscan.RunExperiments(opts)
+		if s.P.Summary.Set().Len() == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkTable1Collection regenerates Table 1 (dataset sizes and
+// overlaps).
+func BenchmarkTable1Collection(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Table1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "table1", s.Table1())
+}
+
+// BenchmarkFigure1IIDClasses regenerates Figure 1 (IID classes and
+// Cable/DSL/ISP shares).
+func BenchmarkFigure1IIDClasses(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Figure1(); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "figure1", s.Figure1())
+}
+
+// BenchmarkTable2ScanResults regenerates Table 2 (successful scans by
+// protocol, including the hit-rate note).
+func BenchmarkTable2ScanResults(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Table2(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "table2", s.Table2())
+}
+
+// BenchmarkTable3DeviceTypes regenerates Table 3 (title groups, SSH
+// OSes, CoAP resources).
+func BenchmarkTable3DeviceTypes(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Table3(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "table3", s.Table3())
+}
+
+// BenchmarkFigure2SSHOutdated regenerates Figure 2.
+func BenchmarkFigure2SSHOutdated(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Figure2(); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "figure2", s.Figure2())
+}
+
+// BenchmarkFigure3AccessControl regenerates Figure 3.
+func BenchmarkFigure3AccessControl(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Figure3(); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "figure3", s.Figure3())
+}
+
+// BenchmarkSecureShareHeadline regenerates the §4.4 headline.
+func BenchmarkSecureShareHeadline(b *testing.B) {
+	s := sharedSuite(b)
+	var ntpShare, hitShare float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shares := analysis.SecureShares(s.NTP, s.Hitlist)
+		ntpShare, hitShare = shares[0].Share(), shares[1].Share()
+	}
+	b.StopTimer()
+	b.ReportMetric(ntpShare*100, "%secure-ntp")
+	b.ReportMetric(hitShare*100, "%secure-hitlist")
+	reportOnce(b, "headline", s.Headline())
+}
+
+// BenchmarkSection5Telescope regenerates the §5 actor-detection
+// experiment.
+func BenchmarkSection5Telescope(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := ntpscan.DetectScanners(uint64(100 + i))
+		if len(res.Report.Campaigns) != 2 {
+			b.Fatalf("campaigns = %d", len(res.Report.Campaigns))
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "section5", ntpscan.DetectScanners(7).Rendered)
+}
+
+// BenchmarkTable4EUI64Vendors regenerates Table 4 and Figure 4
+// (Appendix B).
+func BenchmarkTable4EUI64Vendors(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Table4(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "table4", s.Table4()+s.Figure4())
+}
+
+// BenchmarkTable5NetworkAggregation regenerates Table 5 (Appendix C).
+func BenchmarkTable5NetworkAggregation(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Table5(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "table5", s.Table5())
+}
+
+// BenchmarkTable6NetworkCounts regenerates Table 6 plus the by-network
+// Figure 5/6 variants (Appendix C).
+func BenchmarkTable6NetworkCounts(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Table6(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "table6", s.Table6())
+}
+
+// BenchmarkTable7PerServer regenerates Table 7 (Appendix D).
+func BenchmarkTable7PerServer(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Table7(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "table7", s.Table7())
+}
+
+// BenchmarkTable8Top100 regenerates the Appendix D top-group lists
+// (Tables 8/9).
+func BenchmarkTable8Top100(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Table8(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "table8", s.Table8())
+}
+
+// BenchmarkKeyReuse regenerates the §6 key-reuse analysis.
+func BenchmarkKeyReuse(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.KeyReuse(); len(out) == 0 {
+			b.Fatal("empty analysis")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "keyreuse", s.KeyReuse())
+}
+
+// --- Ablation benches for the design choices DESIGN.md calls out. ---
+
+// BenchmarkAblationFeedVsBatch: real-time feed vs stale aggregated
+// list (§6 "Dynamic IP Addresses").
+func BenchmarkAblationFeedVsBatch(b *testing.B) {
+	opts := benchOptions()
+	opts.DeviceScale /= 5
+	opts.AddrScale /= 3
+	var out string
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(2000 + i)
+		out = experiments.AblationFeedVsBatch(opts)
+	}
+	b.StopTimer()
+	reportOnce(b, "ablation-feed-vs-batch", out)
+}
+
+// BenchmarkAblationDedupStrategies: cert/key vs network vs MAC host
+// counting.
+func BenchmarkAblationDedupStrategies(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = experiments.AblationDedup(s)
+	}
+	b.StopTimer()
+	reportOnce(b, "ablation-dedup", out)
+}
+
+// BenchmarkAblationNetspeed: capture share vs configured weight.
+func BenchmarkAblationNetspeed(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.AblationNetspeed(uint64(3000 + i))
+	}
+	b.StopTimer()
+	reportOnce(b, "ablation-netspeed", out)
+}
+
+// BenchmarkAblationTitleThreshold: Levenshtein grouping threshold
+// sweep.
+func BenchmarkAblationTitleThreshold(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = experiments.AblationTitleThreshold(s)
+	}
+	b.StopTimer()
+	reportOnce(b, "ablation-title-threshold", out)
+}
+
+// reportOnce prints a rendered table once per bench run when verbose
+// reproduction output is requested via NTPSCAN_PRINT=1.
+var reported sync.Map
+
+func reportOnce(b *testing.B, key, out string) {
+	if os.Getenv("NTPSCAN_PRINT") == "" {
+		return
+	}
+	if _, dup := reported.LoadOrStore(key, true); dup {
+		return
+	}
+	fmt.Printf("\n--- %s (%s) ---\n%s\n", key, b.Name(), out)
+}
+
+// BenchmarkFigure5SSHByNetwork regenerates Figure 5 (Appendix C).
+func BenchmarkFigure5SSHByNetwork(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Figure5(); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "figure5", s.Figure5())
+}
+
+// BenchmarkFigure6AccessByNetwork regenerates Figure 6 (Appendix C).
+func BenchmarkFigure6AccessByNetwork(b *testing.B) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Figure6(); len(out) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+	b.StopTimer()
+	reportOnce(b, "figure6", s.Figure6())
+}
+
+// BenchmarkExtensionTargetGen runs the §6 future-work experiment:
+// target generation trained on each source.
+func BenchmarkExtensionTargetGen(b *testing.B) {
+	s := sharedSuite(b)
+	var out string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = experiments.ExtensionTargetGen(s, 1000)
+	}
+	b.StopTimer()
+	reportOnce(b, "extension-targetgen", out)
+}

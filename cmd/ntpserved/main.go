@@ -1,0 +1,76 @@
+// Command ntpserved runs a capture-enabled SNTP server on a real UDP
+// socket — the paper's modified pool-server instrumentation, usable
+// against genuine clients (ntpdate/chronyd/sntp pointed at it will get
+// correct time while the server logs their source addresses).
+//
+// Usage:
+//
+//	ntpserved [-listen :123] [-stratum 2] [-refid GPS\0] [-quiet]
+//
+// Captured client addresses are written to stdout as JSON lines:
+//
+//	{"addr":"2001:db8::1","port":50000,"time":"..."}
+//
+// Binding port 123 requires privileges; any port works for testing
+// (sntp -p 1 127.0.0.1:11123 style clients).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"ntpscan/internal/ntp"
+)
+
+type captureLine struct {
+	Addr string    `json:"addr"`
+	Port uint16    `json:"port"`
+	Time time.Time `json:"time"`
+}
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":11123", "UDP listen address")
+		stratum = flag.Int("stratum", 2, "reported stratum")
+		refid   = flag.String("refid", "GPS", "4-byte reference ID")
+		quiet   = flag.Bool("quiet", false, "suppress capture logging (serve only)")
+	)
+	flag.Parse()
+
+	conn, err := net.ListenPacket("udp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "listen:", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	var rid [4]byte
+	copy(rid[:], *refid)
+	enc := json.NewEncoder(os.Stdout)
+	srv := ntp.NewServer(ntp.ServerConfig{
+		Stratum:     uint8(*stratum),
+		ReferenceID: rid,
+		Capture: func(client netip.AddrPort, at time.Time) {
+			if *quiet {
+				return
+			}
+			enc.Encode(captureLine{
+				Addr: client.Addr().String(),
+				Port: client.Port(),
+				Time: at.UTC(),
+			})
+		},
+	})
+
+	fmt.Fprintf(os.Stderr, "ntpserved: answering SNTP on %s (stratum %d)\n",
+		conn.LocalAddr(), *stratum)
+	if err := srv.Serve(conn); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,76 @@
+// Command poolsim runs the NTP Pool collection simulation: deploy the
+// eleven vantage servers, tune netspeed, collect client addresses for
+// the four-week window, and stream every distinct captured address to
+// stdout (one per line), followed by a per-server summary on stderr.
+//
+// Usage:
+//
+//	poolsim [-seed N] [-addr-scale F] [-device-scale F] [-summary-only]
+//
+// The streamed list is exactly what the paper warns against treating as
+// a hitlist (it goes stale immediately); pipe it into v6scan -targets -
+// to see why.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+
+	"ntpscan/internal/core"
+	"ntpscan/internal/tabulate"
+	"ntpscan/internal/world"
+)
+
+func main() {
+	var (
+		seed        = flag.Uint64("seed", 20240720, "experiment seed")
+		addrScale   = flag.Float64("addr-scale", 6e-6, "address-only population scale")
+		deviceScale = flag.Float64("device-scale", 3e-3, "responsive population scale")
+		asScale     = flag.Float64("as-scale", 0.03, "AS count scale")
+		summaryOnly = flag.Bool("summary-only", false, "suppress the address stream")
+	)
+	flag.Parse()
+
+	p := core.NewPipeline(core.Config{
+		Seed: *seed,
+		World: world.Config{
+			DeviceScale: *deviceScale,
+			AddrScale:   *addrScale,
+			ASScale:     *asScale,
+		},
+	})
+	fmt.Fprintf(os.Stderr, "poolsim: %d vantage servers deployed, collecting...\n", len(p.Servers))
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	seen := make(map[netip.Addr]struct{})
+	p.Collect(func(a netip.Addr) {
+		if *summaryOnly {
+			return
+		}
+		if _, dup := seen[a]; dup {
+			return
+		}
+		seen[a] = struct{}{}
+		fmt.Fprintln(out, a)
+	})
+
+	st := p.Summary.Stats()
+	t := tabulate.New("collection summary", "metric", "value").
+		SetAligns(tabulate.Left, tabulate.Right)
+	t.Cells("capture events", tabulate.Count(p.Captures))
+	t.Cells("distinct addresses", tabulate.Count(st.Addrs))
+	t.Cells("/48 networks", tabulate.Count(st.Nets48))
+	t.Cells("ASes", tabulate.Count(st.ASes))
+	fmt.Fprint(os.Stderr, t.String())
+
+	per := tabulate.New("addresses per vantage server", "location", "#addresses").
+		SetAligns(tabulate.Left, tabulate.Right)
+	for _, row := range p.PerCountrySorted() {
+		per.Cells(row.Country, tabulate.Count(row.Addrs))
+	}
+	fmt.Fprint(os.Stderr, per.String())
+}

@@ -1,0 +1,42 @@
+// Command telescope runs the §5 scanner-detection experiment: query
+// pool servers from distinct source addresses in a monitored prefix,
+// capture everything arriving there, and attribute inbound scans to the
+// NTP queries that leaked the addresses.
+//
+// Usage:
+//
+//	telescope [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ntpscan"
+)
+
+func main() {
+	var (
+		seed    = flag.Uint64("seed", 7, "experiment seed")
+		verbose = flag.Bool("v", false, "dump per-campaign source addresses")
+	)
+	flag.Parse()
+
+	res := ntpscan.DetectScanners(*seed)
+	fmt.Print(res.Rendered)
+
+	if *verbose {
+		for _, c := range res.Report.Campaigns {
+			fmt.Printf("campaign %s sources:\n", c.SourceNet)
+			for _, s := range c.Sources {
+				fmt.Printf("  %s\n", s)
+			}
+		}
+	}
+	if res.Report.ScatterPackets > 0 {
+		fmt.Fprintf(os.Stderr,
+			"warning: %d packets hit never-queried addresses (random scanning in the area)\n",
+			res.Report.ScatterPackets)
+	}
+}

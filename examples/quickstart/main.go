@@ -1,0 +1,53 @@
+// Quickstart: run a small end-to-end campaign — collect IPv6 addresses
+// via NTP Pool capture servers, scan them in real time, compare against
+// a TUM-style hitlist — and print the headline findings.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"ntpscan"
+	"ntpscan/internal/analysis"
+)
+
+func main() {
+	fmt.Println("building a small synthetic Internet and running the campaign...")
+	s := ntpscan.RunExperiments(ntpscan.Options{
+		Seed:        1,
+		DeviceScale: 1e-3, // ~360 scan-reachable NTP devices
+		AddrScale:   1e-6, // ~100 address-only eyeball devices
+		ASScale:     0.02,
+		Workers:     32,
+	})
+
+	st := s.P.Summary.Stats()
+	fmt.Printf("\ncollected %d distinct addresses across %d /48s and %d ASes\n",
+		st.Addrs, st.Nets48, st.ASes)
+
+	resp, scanned, rate := analysis.HitRate(s.NTP)
+	fmt.Printf("scanned them live: %d of %d responsive (hit rate %.4f)\n",
+		resp, scanned, rate)
+
+	fmt.Println("\nwhat NTP sourcing finds that the hitlist misses:")
+	hitGroups := analysis.TitleGroups(s.Hitlist)
+	for i, g := range analysis.TitleGroups(s.NTP) {
+		if i >= 5 {
+			break
+		}
+		inHitlist := 0
+		if hg := analysis.FindGroup(hitGroups, g.Representative); hg != nil {
+			inHitlist = hg.Certs
+		}
+		fmt.Printf("  %-40q %4d certs via NTP, %4d via hitlist\n",
+			g.Representative, g.Certs, inHitlist)
+	}
+
+	shares := analysis.SecureShares(s.NTP, s.Hitlist)
+	fmt.Printf("\nsecurity: %.1f%% of NTP-found hosts securely configured vs %.1f%% of hitlist hosts\n",
+		shares[0].Share()*100, shares[1].Share()*100)
+	fmt.Println("(the paper reports 28.4% vs 43.5% at full scale)")
+
+	fmt.Println("\nfull tables: go run ./cmd/experiments")
+}

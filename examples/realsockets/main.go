@@ -1,0 +1,204 @@
+// Real sockets: the same protocol implementations that power the mass
+// simulation, exchanged over genuine loopback sockets with no fabric in
+// between — a capture NTP server on real UDP, an HTTP device page and
+// an SSH endpoint on real TCP, an HTTPS server using the stdlib TLS
+// stack with a generated certificate, and a CoAP device on real UDP.
+//
+//	go run ./examples/realsockets
+package main
+
+import (
+	"crypto/tls"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"time"
+
+	"ntpscan/internal/ntp"
+	"ntpscan/internal/proto/coapx"
+	"ntpscan/internal/proto/httpx"
+	"ntpscan/internal/proto/sshx"
+	"ntpscan/internal/tlsx"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "realsockets:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- NTP capture server on a real UDP socket. ---
+	ntpConn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ntpConn.Close()
+	captured := make(chan netip.AddrPort, 1)
+	srv := ntp.NewServer(ntp.ServerConfig{
+		Capture: func(c netip.AddrPort, _ time.Time) {
+			select {
+			case captured <- c:
+			default:
+			}
+		},
+	})
+	go srv.Serve(ntpConn)
+
+	client, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	res, err := ntp.QueryConn(client, ntpConn.LocalAddr(), 2*time.Second)
+	if err != nil {
+		return fmt.Errorf("ntp query: %w", err)
+	}
+	fmt.Printf("NTP: synced against %s (stratum %d, offset %v)\n",
+		ntpConn.LocalAddr(), res.Stratum, res.Offset.Truncate(time.Microsecond))
+	fmt.Printf("NTP: server captured our address: %v\n", <-captured)
+
+	// --- HTTP device page on real TCP. ---
+	httpLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer httpLn.Close()
+	go func() {
+		for {
+			c, err := httpLn.Accept()
+			if err != nil {
+				return
+			}
+			go httpx.ServeConn(c, httpx.ServerOptions{Title: "FRITZ!Box 7590"})
+		}
+	}()
+	hc, err := net.Dial("tcp", httpLn.Addr().String())
+	if err != nil {
+		return err
+	}
+	hc.SetDeadline(time.Now().Add(2 * time.Second))
+	resp, err := httpx.Get(hc, "", "/")
+	hc.Close()
+	if err != nil {
+		return fmt.Errorf("http: %w", err)
+	}
+	fmt.Printf("HTTP: %d with title %q\n", resp.StatusCode, resp.Title())
+
+	// --- HTTPS with the stdlib TLS stack and a generated cert. ---
+	cert, err := tlsx.GenerateX509("device.local", []net.IP{net.ParseIP("127.0.0.1")}, time.Hour)
+	if err != nil {
+		return err
+	}
+	tlsLn, err := tls.Listen("tcp", "127.0.0.1:0", &tls.Config{Certificates: []tls.Certificate{cert}})
+	if err != nil {
+		return err
+	}
+	defer tlsLn.Close()
+	go func() {
+		for {
+			c, err := tlsLn.Accept()
+			if err != nil {
+				return
+			}
+			go httpx.ServeConn(c, httpx.ServerOptions{Title: "FRITZ!Box 7590 (TLS)"})
+		}
+	}()
+	tc, err := tls.Dial("tcp", tlsLn.Addr().String(), &tls.Config{InsecureSkipVerify: true})
+	if err != nil {
+		return err
+	}
+	tc.SetDeadline(time.Now().Add(2 * time.Second))
+	tresp, err := httpx.Get(tc, "", "/")
+	cn := tc.ConnectionState().PeerCertificates[0].Subject.CommonName
+	tc.Close()
+	if err != nil {
+		return fmt.Errorf("https: %w", err)
+	}
+	fmt.Printf("HTTPS: %d, title %q, real X.509 CN %q\n", tresp.StatusCode, tresp.Title(), cn)
+
+	// --- SSH identification + host key over real TCP. ---
+	sshLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer sshLn.Close()
+	go func() {
+		for {
+			c, err := sshLn.Accept()
+			if err != nil {
+				return
+			}
+			go sshx.ServeConn(c, sshx.ServerOptions{
+				ID:      "SSH-2.0-OpenSSH_9.2p1 Raspbian-10+deb12u2",
+				HostKey: sshx.HostKey{Type: "ssh-ed25519", Blob: []byte("loopback-demo-key")},
+			})
+		}
+	}()
+	sc, err := net.Dial("tcp", sshLn.Addr().String())
+	if err != nil {
+		return err
+	}
+	sc.SetDeadline(time.Now().Add(2 * time.Second))
+	grab, err := sshx.Scan(sc)
+	sc.Close()
+	if err != nil {
+		return fmt.Errorf("ssh: %w", err)
+	}
+	fmt.Printf("SSH: %s (OS %s), host key %s\n",
+		grab.ID.Raw, grab.ID.OS(), grab.HostKey.FingerprintHex()[:16])
+
+	// --- CoAP discovery over real UDP (raw datagrams, no fabric). ---
+	coapSrv, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer coapSrv.Close()
+	go serveCoAP(coapSrv, coapx.DeviceOptions{Resources: []string{"/castDeviceSearch"}})
+
+	coapCli, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer coapCli.Close()
+	req := coapx.NewGet("/.well-known/core", 0x1234, []byte{9, 9})
+	enc, _ := req.Marshal()
+	if _, err := coapCli.WriteTo(enc, coapSrv.LocalAddr()); err != nil {
+		return err
+	}
+	coapCli.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1500)
+	n, _, err := coapCli.ReadFrom(buf)
+	if err != nil {
+		return fmt.Errorf("coap: %w", err)
+	}
+	cresp, err := coapx.Parse(buf[:n])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CoAP: %v with resources %v\n",
+		cresp.Code, coapx.ParseLinkFormat(string(cresp.Payload)))
+
+	return nil
+}
+
+// serveCoAP answers discovery requests on a real packet socket.
+func serveCoAP(conn net.PacketConn, opts coapx.DeviceOptions) {
+	buf := make([]byte, 1500)
+	for {
+		n, raddr, err := conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		req, err := coapx.Parse(buf[:n])
+		if err != nil || req.Code != coapx.CodeGET {
+			continue
+		}
+		resp := coapx.Respond(req, opts)
+		if enc, err := resp.Marshal(); err == nil {
+			conn.WriteTo(enc, raddr)
+		}
+	}
+}

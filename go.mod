@@ -1,0 +1,3 @@
+module ntpscan
+
+go 1.23

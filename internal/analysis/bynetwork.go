@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"net/netip"
+
+	"ntpscan/internal/ipv6x"
+	"ntpscan/internal/proto/sshx"
+)
+
+// This file implements the Appendix C re-countings of the security
+// analyses: instead of deduplicating by host key or certificate, hosts
+// are counted per address and per network. Key-reusing outdated servers
+// count once per address here, which is why Figure 5 shows much more
+// outdatedness than Figure 2 — the paper discusses exactly this effect.
+
+// PatchByNet holds Figure 5 counts at one granularity.
+type PatchByNet struct {
+	Granularity string // "addr", "/48", "/56", "/64"
+	Assessable  int
+	Outdated    int
+}
+
+// OutdatedShare returns the outdated proportion.
+func (p PatchByNet) OutdatedShare() float64 {
+	if p.Assessable == 0 {
+		return 0
+	}
+	return float64(p.Outdated) / float64(p.Assessable)
+}
+
+// SSHOutdatedByNetwork recomputes the Figure 2 analysis per address and
+// per network (Figure 5). The latest revision per release is established
+// across all datasets jointly, then each dataset's addresses and
+// networks are classified; a network is outdated if any address in it
+// runs an outdated server (the conservative reading).
+func SSHOutdatedByNetwork(datasets ...*Dataset) [][]PatchByNet {
+	// Joint latest per release, over addresses (not keys) so the
+	// baseline matches Figure 2's.
+	latest := map[releaseKey]int{}
+	type rec struct {
+		release releaseKey
+		rev     int
+		addr    netip.Addr
+	}
+	all := make([][]rec, len(datasets))
+	for i, d := range datasets {
+		for _, r := range d.Successes("ssh") {
+			if r.SSH == nil {
+				continue
+			}
+			id, err := sshx.ParseServerID(r.SSH.ServerID)
+			if err != nil {
+				continue
+			}
+			base, rev, ok := id.PatchLevel()
+			if !ok {
+				continue
+			}
+			k := releaseKey{software: id.Software, base: base}
+			if rev > latest[k] {
+				latest[k] = rev
+			}
+			all[i] = append(all[i], rec{release: k, rev: rev, addr: r.IP})
+		}
+	}
+
+	out := make([][]PatchByNet, len(datasets))
+	for i := range datasets {
+		type state struct{ outdated bool }
+		addrs := map[netip.Addr]*state{}
+		nets := map[int]map[netip.Prefix]*state{48: {}, 56: {}, 64: {}}
+		for _, rc := range all[i] {
+			outdated := rc.rev < latest[rc.release]
+			if s, ok := addrs[rc.addr]; ok {
+				s.outdated = s.outdated || outdated
+			} else {
+				addrs[rc.addr] = &state{outdated: outdated}
+			}
+			for bits, m := range nets {
+				p := ipv6x.Prefix(rc.addr, bits)
+				if s, ok := m[p]; ok {
+					s.outdated = s.outdated || outdated
+				} else {
+					m[p] = &state{outdated: outdated}
+				}
+			}
+		}
+		count := func(label string, m map[netip.Prefix]*state) PatchByNet {
+			out := PatchByNet{Granularity: label}
+			for _, s := range m {
+				out.Assessable++
+				if s.outdated {
+					out.Outdated++
+				}
+			}
+			return out
+		}
+		byAddr := PatchByNet{Granularity: "addr"}
+		for _, s := range addrs {
+			byAddr.Assessable++
+			if s.outdated {
+				byAddr.Outdated++
+			}
+		}
+		out[i] = []PatchByNet{
+			byAddr,
+			count("/48", nets[48]),
+			count("/56", nets[56]),
+			count("/64", nets[64]),
+		}
+	}
+	return out
+}
+
+// AccessByNet holds Figure 6 counts at one granularity.
+type AccessByNet struct {
+	Granularity   string
+	Open          int
+	AccessControl int
+}
+
+// OpenShare returns the unprotected proportion.
+func (a AccessByNet) OpenShare() float64 {
+	total := a.Open + a.AccessControl
+	if total == 0 {
+		return 0
+	}
+	return float64(a.Open) / float64(total)
+}
+
+// BrokerAccessByNetwork recomputes Figure 3 per address and network
+// (Figure 6). A network counts as open if any broker in it accepted the
+// anonymous probe.
+func BrokerAccessByNetwork(d *Dataset, proto string) []AccessByNet {
+	type state struct{ open bool }
+	addrs := map[netip.Addr]*state{}
+	nets := map[int]map[netip.Prefix]*state{48: {}, 56: {}, 64: {}}
+	observe := func(addr netip.Addr, open bool) {
+		if s, ok := addrs[addr]; ok {
+			s.open = s.open || open
+		} else {
+			addrs[addr] = &state{open: open}
+		}
+		for bits, m := range nets {
+			p := ipv6x.Prefix(addr, bits)
+			if s, ok := m[p]; ok {
+				s.open = s.open || open
+			} else {
+				m[p] = &state{open: open}
+			}
+		}
+	}
+	for _, module := range []string{proto, proto + "s"} {
+		for _, r := range d.Successes(module) {
+			switch proto {
+			case "mqtt":
+				if r.MQTT != nil {
+					observe(r.IP, r.MQTT.Open)
+				}
+			case "amqp":
+				if r.AMQP != nil {
+					observe(r.IP, r.AMQP.Open)
+				}
+			}
+		}
+	}
+	count := func(label string, m map[netip.Prefix]*state) AccessByNet {
+		out := AccessByNet{Granularity: label}
+		for _, s := range m {
+			if s.open {
+				out.Open++
+			} else {
+				out.AccessControl++
+			}
+		}
+		return out
+	}
+	byAddr := AccessByNet{Granularity: "addr"}
+	for _, s := range addrs {
+		if s.open {
+			byAddr.Open++
+		} else {
+			byAddr.AccessControl++
+		}
+	}
+	return []AccessByNet{
+		byAddr,
+		count("/48", nets[48]),
+		count("/56", nets[56]),
+		count("/64", nets[64]),
+	}
+}

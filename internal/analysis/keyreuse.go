@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// KeyReuseStats reproduces the §6 "Certificate and Key Reuse" analysis:
+// keys or certificates observed at multiple addresses across more than
+// two ASes (the threshold that excludes dual-homed hosts).
+type KeyReuseStats struct {
+	// ReusedKeys is the number of distinct identities (SSH keys and
+	// TLS key IDs) appearing in more than two ASes.
+	ReusedKeys int
+	// ReusedIPs is the number of addresses relying on those keys.
+	ReusedIPs int
+	// TopKeyIPs/TopKeyASes describe the most-used key (by addresses).
+	TopKeyIPs  int
+	TopKeyASes int
+	// WidestKeyASes is the AS span of the most widespread key.
+	WidestKeyASes int
+}
+
+// KeyReuse analyses a dataset. HTTP entries are restricted to status
+// 200 responses, as the paper does.
+func KeyReuse(ctx *Context, d *Dataset) KeyReuseStats {
+	type spread struct {
+		ips  map[netip.Addr]struct{}
+		ases map[uint32]struct{}
+	}
+	keys := map[string]*spread{}
+	observe := func(id string, addr netip.Addr) {
+		s := keys[id]
+		if s == nil {
+			s = &spread{ips: map[netip.Addr]struct{}{}, ases: map[uint32]struct{}{}}
+			keys[id] = s
+		}
+		s.ips[addr] = struct{}{}
+		if ctx != nil && ctx.AS != nil {
+			if asn, ok := ctx.AS.LookupASN(addr); ok {
+				s.ases[asn] = struct{}{}
+			}
+		}
+	}
+	for _, r := range d.Successes("ssh") {
+		if r.SSH != nil && r.SSH.KeyFingerprint != "" {
+			observe("ssh:"+r.SSH.KeyFingerprint, r.IP)
+		}
+	}
+	for _, module := range []string{"https", "mqtts", "amqps"} {
+		for _, r := range d.Successes(module) {
+			if r.TLS == nil || !r.TLS.HandshakeOK || r.TLS.KeyID == "" {
+				continue
+			}
+			if module == "https" && (r.HTTP == nil || r.HTTP.StatusCode != 200) {
+				continue
+			}
+			observe("tls:"+r.TLS.KeyID, r.IP)
+		}
+	}
+
+	var out KeyReuseStats
+	type ranked struct{ ips, ases int }
+	var all []ranked
+	for _, s := range keys {
+		if len(s.ases) <= 2 {
+			continue // dual-homing tolerance
+		}
+		out.ReusedKeys++
+		out.ReusedIPs += len(s.ips)
+		all = append(all, ranked{ips: len(s.ips), ases: len(s.ases)})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].ips > all[j].ips })
+	if len(all) > 0 {
+		out.TopKeyIPs = all[0].ips
+		out.TopKeyASes = all[0].ases
+		widest := 0
+		for _, r := range all {
+			if r.ases > widest {
+				widest = r.ases
+			}
+		}
+		out.WidestKeyASes = widest
+	}
+	return out
+}

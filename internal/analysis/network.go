@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"net/netip"
+
+	"ntpscan/internal/ipv6x"
+	"ntpscan/internal/zgrab"
+)
+
+// NetworkAggregation is one protocol's Appendix C (Table 5) row:
+// responsive endpoints counted at every granularity.
+type NetworkAggregation struct {
+	Module    string
+	Addrs     int
+	Nets32    int
+	Nets48    int
+	Nets56    int
+	Nets64    int
+	ASes      int
+	Countries int
+}
+
+// AggregateModule computes Table 5 counts for one module's successes.
+func AggregateModule(ctx *Context, d *Dataset, module string) NetworkAggregation {
+	agg := NetworkAggregation{Module: module}
+	addrs := make(map[netip.Addr]struct{})
+	n32 := make(map[netip.Prefix]struct{})
+	n48 := make(map[netip.Prefix]struct{})
+	n56 := make(map[netip.Prefix]struct{})
+	n64 := make(map[netip.Prefix]struct{})
+	ases := make(map[uint32]struct{})
+	countries := make(map[string]struct{})
+	for _, r := range d.Successes(module) {
+		if _, dup := addrs[r.IP]; dup {
+			continue
+		}
+		addrs[r.IP] = struct{}{}
+		n32[ipv6x.Prefix32(r.IP)] = struct{}{}
+		n48[ipv6x.Prefix48(r.IP)] = struct{}{}
+		n56[ipv6x.Prefix56(r.IP)] = struct{}{}
+		n64[ipv6x.Prefix64(r.IP)] = struct{}{}
+		if ctx != nil && ctx.AS != nil {
+			if asn, ok := ctx.AS.LookupASN(r.IP); ok {
+				ases[asn] = struct{}{}
+			}
+		}
+		if ctx != nil && ctx.Geo != nil {
+			if cc, ok := ctx.Geo.Locate(r.IP); ok {
+				countries[cc] = struct{}{}
+			}
+		}
+	}
+	agg.Addrs = len(addrs)
+	agg.Nets32, agg.Nets48 = len(n32), len(n48)
+	agg.Nets56, agg.Nets64 = len(n56), len(n64)
+	agg.ASes, agg.Countries = len(ases), len(countries)
+	return agg
+}
+
+// Table5Modules is the Appendix C module order.
+var Table5Modules = []string{"http", "https", "ssh", "mqtt", "mqtts", "amqp", "amqps", "coap"}
+
+// Table5 aggregates every module.
+func Table5(ctx *Context, d *Dataset) []NetworkAggregation {
+	out := make([]NetworkAggregation, 0, len(Table5Modules))
+	for _, m := range Table5Modules {
+		out = append(out, AggregateModule(ctx, d, m))
+	}
+	return out
+}
+
+// GroupByNetworks recounts a classification (title group, SSH OS, CoAP
+// group) at address and network granularities (Table 6): classify
+// returns the group label for one successful result, or "" to skip it.
+type NetworkCounts struct {
+	Group  string
+	IPs    int
+	Nets48 int
+	Nets56 int
+	Nets64 int
+}
+
+// GroupByNetworks aggregates successes of module under classify.
+func GroupByNetworks(d *Dataset, module string, classify func(*zgrab.Result) string) []NetworkCounts {
+	type sets struct {
+		ips map[netip.Addr]struct{}
+		n48 map[netip.Prefix]struct{}
+		n56 map[netip.Prefix]struct{}
+		n64 map[netip.Prefix]struct{}
+	}
+	groups := map[string]*sets{}
+	for _, r := range d.Successes(module) {
+		label := classify(r)
+		if label == "" {
+			continue
+		}
+		g := groups[label]
+		if g == nil {
+			g = &sets{
+				ips: map[netip.Addr]struct{}{},
+				n48: map[netip.Prefix]struct{}{},
+				n56: map[netip.Prefix]struct{}{},
+				n64: map[netip.Prefix]struct{}{},
+			}
+			groups[label] = g
+		}
+		g.ips[r.IP] = struct{}{}
+		g.n48[ipv6x.Prefix48(r.IP)] = struct{}{}
+		g.n56[ipv6x.Prefix56(r.IP)] = struct{}{}
+		g.n64[ipv6x.Prefix64(r.IP)] = struct{}{}
+	}
+	out := make([]NetworkCounts, 0, len(groups))
+	for _, label := range sortedKeys(groups) {
+		g := groups[label]
+		out = append(out, NetworkCounts{
+			Group: label, IPs: len(g.ips),
+			Nets48: len(g.n48), Nets56: len(g.n56), Nets64: len(g.n64),
+		})
+	}
+	return out
+}

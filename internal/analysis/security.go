@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"ntpscan/internal/proto/sshx"
+)
+
+// PatchStats summarises SSH up-to-dateness for one dataset (Figure 2).
+type PatchStats struct {
+	Assessable int // unique keys exposing a Debian-style patch level
+	Outdated   int // keys below the latest revision of their release
+}
+
+// UpToDate returns Assessable - Outdated.
+func (p PatchStats) UpToDate() int { return p.Assessable - p.Outdated }
+
+// OutdatedShare returns the outdated proportion among assessable keys.
+func (p PatchStats) OutdatedShare() float64 {
+	if p.Assessable == 0 {
+		return 0
+	}
+	return float64(p.Outdated) / float64(p.Assessable)
+}
+
+// releaseKey identifies one distribution release: software string plus
+// the patch base ("OpenSSH_9.2p1" + "Debian-2+deb12u").
+type releaseKey struct {
+	software string
+	base     string
+}
+
+// sshPatchRecord is one unique host key's patch information.
+type sshPatchRecord struct {
+	release releaseKey
+	rev     int
+}
+
+// collectPatchRecords deduplicates by host key and parses patch levels,
+// restricting to banners that expose one (the paper's Debian-derived
+// restriction, §4.4.1).
+func collectPatchRecords(d *Dataset) map[string]sshPatchRecord {
+	out := make(map[string]sshPatchRecord)
+	for _, r := range d.Successes("ssh") {
+		if r.SSH == nil || r.SSH.KeyFingerprint == "" {
+			continue
+		}
+		if _, seen := out[r.SSH.KeyFingerprint]; seen {
+			continue
+		}
+		id, err := sshx.ParseServerID(r.SSH.ServerID)
+		if err != nil {
+			continue
+		}
+		base, rev, ok := id.PatchLevel()
+		if !ok {
+			continue
+		}
+		out[r.SSH.KeyFingerprint] = sshPatchRecord{
+			release: releaseKey{software: id.Software, base: base},
+			rev:     rev,
+		}
+	}
+	return out
+}
+
+// SSHOutdated computes per-dataset patch statistics. The latest known
+// revision per release is established across all given datasets (as
+// updates to stable releases only ship fixes, the highest observed
+// revision is the current one — §4.4.1); every key below it is
+// outdated.
+func SSHOutdated(datasets ...*Dataset) []PatchStats {
+	records := make([]map[string]sshPatchRecord, len(datasets))
+	latest := make(map[releaseKey]int)
+	for i, d := range datasets {
+		records[i] = collectPatchRecords(d)
+		for _, rec := range records[i] {
+			if rec.rev > latest[rec.release] {
+				latest[rec.release] = rec.rev
+			}
+		}
+	}
+	out := make([]PatchStats, len(datasets))
+	for i := range datasets {
+		for _, rec := range records[i] {
+			out[i].Assessable++
+			if rec.rev < latest[rec.release] {
+				out[i].Outdated++
+			}
+		}
+	}
+	return out
+}
+
+// AccessStats summarises broker access control for one protocol
+// (Figure 3).
+type AccessStats struct {
+	Open          int // brokers accepting the anonymous/default probe
+	AccessControl int // brokers refusing it
+}
+
+// Total returns all assessed brokers.
+func (a AccessStats) Total() int { return a.Open + a.AccessControl }
+
+// OpenShare returns the unprotected proportion.
+func (a AccessStats) OpenShare() float64 {
+	if a.Total() == 0 {
+		return 0
+	}
+	return float64(a.Open) / float64(a.Total())
+}
+
+// BrokerAccess counts access control for a broker protocol ("mqtt" or
+// "amqp"), deduplicating by certificate where TLS provides one and by
+// address otherwise (plain brokers present no identity).
+func BrokerAccess(d *Dataset, proto string) AccessStats {
+	type verdict struct{ open bool }
+	seen := make(map[string]verdict)
+	record := func(key string, open bool) {
+		if _, dup := seen[key]; !dup {
+			seen[key] = verdict{open: open}
+		}
+	}
+	for _, r := range d.Successes(proto) {
+		switch proto {
+		case "mqtt":
+			if r.MQTT != nil {
+				record("addr:"+r.IP.String(), r.MQTT.Open)
+			}
+		case "amqp":
+			if r.AMQP != nil {
+				record("addr:"+r.IP.String(), r.AMQP.Open)
+			}
+		}
+	}
+	for _, r := range d.Successes(proto + "s") {
+		key := "addr:" + r.IP.String()
+		if r.TLS != nil && r.TLS.HandshakeOK && r.TLS.CertFingerprint != "" {
+			key = "cert:" + r.TLS.CertFingerprint
+		}
+		switch proto {
+		case "mqtt":
+			if r.MQTT != nil {
+				record(key, r.MQTT.Open)
+			}
+		case "amqp":
+			if r.AMQP != nil {
+				record(key, r.AMQP.Open)
+			}
+		}
+	}
+	var out AccessStats
+	for _, v := range seen {
+		if v.open {
+			out.Open++
+		} else {
+			out.AccessControl++
+		}
+	}
+	return out
+}
+
+// SecureShare is the paper's §4.4 headline metric over SSH and IoT
+// hosts: unique SSH host keys plus unique MQTT/AMQP broker identities;
+// a host counts as securely configured when its SSH patch level is
+// current, or its broker enforces access control. Hosts whose patch
+// state cannot be assessed count toward the denominator but not the
+// numerator (they reveal nothing that would mark them secure).
+type SecureShare struct {
+	Hosts  int
+	Secure int
+}
+
+// Share returns the secure proportion.
+func (s SecureShare) Share() float64 {
+	if s.Hosts == 0 {
+		return 0
+	}
+	return float64(s.Secure) / float64(s.Hosts)
+}
+
+// SecureShares computes the headline for each dataset, with the SSH
+// latest-revision baseline established jointly.
+func SecureShares(datasets ...*Dataset) []SecureShare {
+	patch := SSHOutdated(datasets...)
+	out := make([]SecureShare, len(datasets))
+	for i, d := range datasets {
+		// All unique SSH keys.
+		keys := make(map[string]struct{})
+		for _, r := range d.Successes("ssh") {
+			if r.SSH != nil && r.SSH.KeyFingerprint != "" {
+				keys[r.SSH.KeyFingerprint] = struct{}{}
+			}
+		}
+		out[i].Hosts += len(keys)
+		out[i].Secure += patch[i].UpToDate()
+
+		for _, proto := range []string{"mqtt", "amqp"} {
+			ac := BrokerAccess(d, proto)
+			out[i].Hosts += ac.Total()
+			out[i].Secure += ac.AccessControl
+		}
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"ntpscan/internal/analysis"
+	"ntpscan/internal/rng"
+	"ntpscan/internal/world"
+)
+
+// Collect runs the four-week address collection. Capture events arrive
+// on two channels:
+//
+//   - the volume channel samples the address-only eyeball population
+//     per country, weighted by sync mass and the tuned zone share —
+//     this produces the Table 1/7 address bulk;
+//   - the responsive channel captures every scan-reachable NTP client
+//     at least once (their sync cadence over four weeks makes capture
+//     near-certain; see DESIGN.md), plus extra captures in later
+//     address epochs with rate ResponsiveDupRate — dynamic addresses
+//     re-observed, the mechanism behind addrs > certs in Table 2.
+//
+// feed, when non-nil, receives every captured address as it happens
+// (the real-time scan feed). The logical clock advances across the
+// window as events are generated.
+func (p *Pipeline) Collect(feed func(netip.Addr)) {
+	p.onAddr = feed
+	defer func() { p.onAddr = nil }()
+
+	budget := p.Cfg.CaptureBudget
+	if budget == 0 {
+		budget = 3 * p.expectedDistinct()
+	}
+	clock := p.W.Clock()
+	start := p.W.Cfg.Start
+
+	// Per-country event quotas: sync mass x tuned share.
+	type quota struct {
+		vs     *VantageServer
+		events int
+	}
+	var quotas []quota
+	totalWeight := 0.0
+	for _, vs := range p.Servers {
+		totalWeight += p.W.SyncMass(vs.Country) * p.Pool.ShareEstimate(vs.Country)
+	}
+	if totalWeight > 0 {
+		for _, vs := range p.Servers {
+			w := p.W.SyncMass(vs.Country) * p.Pool.ShareEstimate(vs.Country)
+			quotas = append(quotas, quota{vs: vs, events: int(float64(budget) * w / totalWeight)})
+		}
+	}
+
+	// Interleave: walk the window in slices, emitting each country's
+	// proportional share per slice so time advances monotonically and
+	// dynamic devices rotate through their epochs.
+	const slices = 96 // 7-hour steps across four weeks
+	r := p.rng.Derive("volume")
+	for s := 0; s < slices; s++ {
+		sliceTime := start.Add(world.CollectionWindow * time.Duration(s) / slices)
+		if sliceTime.After(clock.Now()) {
+			clock.Set(sliceTime)
+		}
+		for _, q := range quotas {
+			n := q.events / slices
+			if s < q.events%slices {
+				n++
+			}
+			p.volumeStats = true
+			for i := 0; i < n; i++ {
+				dev := p.W.SampleClient(q.vs.Country, r)
+				if dev == nil {
+					continue
+				}
+				addr := p.W.CurrentAddr(dev, clock.Now())
+				p.captureVia(q.vs, addr)
+			}
+			p.volumeStats = false
+		}
+		p.responsiveSlice(s, slices, r)
+	}
+}
+
+// responsiveSlice captures the slice's portion of the responsive
+// population. Device i is first captured in slice i%slices (spreading
+// the population over the window), then re-captured in later epochs
+// with probability derived from ResponsiveDupRate.
+func (p *Pipeline) responsiveSlice(s, slices int, r *rng.Stream) {
+	clock := p.W.Clock()
+	for i, dev := range p.responsive() {
+		vs, ok := p.ServerByCountry(dev.Country)
+		if !ok {
+			continue
+		}
+		first := i % slices
+		switch {
+		case s == first:
+			addr := p.W.CurrentAddr(dev, clock.Now())
+			p.captureVia(vs, addr)
+		case s > first && dev.Profile.PrefixEpochs > 1:
+			// Dynamic devices may be re-captured after renumbering.
+			perSlice := p.Cfg.ResponsiveDupRate / float64(slices-first)
+			if r.Bool(perSlice) {
+				addr := p.W.CurrentAddr(dev, clock.Now())
+				p.captureVia(vs, addr)
+			}
+		}
+	}
+}
+
+// responsive caches the responsive NTP population.
+func (p *Pipeline) responsive() []*world.Device {
+	if p.respCache == nil {
+		p.respCache = p.W.ResponsiveNTP()
+	}
+	return p.respCache
+}
+
+// expectedDistinct estimates the distinct-address yield of the
+// address-only population (devices x epochs), for auto-sizing the
+// capture budget.
+func (p *Pipeline) expectedDistinct() int {
+	total := 0
+	for _, c := range p.W.Countries {
+		if !c.Spec.Vantage {
+			continue
+		}
+		for _, d := range p.W.NTPClients(c.Spec.Code) {
+			e := d.Profile.PrefixEpochs
+			if e < 1 {
+				e = 1
+			}
+			total += e
+		}
+	}
+	if total < 1000 {
+		total = 1000
+	}
+	return total
+}
+
+// PerCountrySorted returns Table 7: distinct captured addresses per
+// vantage country, descending.
+func (p *Pipeline) PerCountrySorted() []CountryCount {
+	out := make([]CountryCount, 0, len(p.PerCountry))
+	for c, n := range p.PerCountry {
+		out = append(out, CountryCount{Country: c, Addrs: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addrs != out[j].Addrs {
+			return out[i].Addrs > out[j].Addrs
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}
+
+// CountryCount is one Table 7 row.
+type CountryCount struct {
+	Country string
+	Addrs   int
+}
+
+// AdvanceWorld moves the logical clock forward and re-registers every
+// reachable dynamic device at its now-current address, blackholing the
+// addresses they held before — the world as a scanner finds it some
+// time after the collection window (the staleness the §6 discussion
+// warns static lists suffer from).
+func (p *Pipeline) AdvanceWorld(d time.Duration) {
+	now := p.W.Clock().Advance(d)
+	for _, dev := range p.W.Devices {
+		if dev.Role() != world.RoleAddrOnly && dev.Profile.PrefixEpochs > 1 {
+			p.W.CurrentAddr(dev, now)
+		}
+	}
+}
+
+// RLCollect runs a Rye-and-Levin-era collection for the Table 1
+// comparison column: 27 vantage countries (every generated country,
+// vantage or not, plus repeats), an earlier address-epoch base (the
+// 2022 measurement period), and a partially drifted device population
+// (a quarter of today's devices did not exist then). Only the address
+// summary is produced — R&L did not scan.
+func (p *Pipeline) RLCollect(budget int) *analysis.AddrSummary {
+	if budget == 0 {
+		budget = 6 * p.expectedDistinct() // seven months vs four weeks
+	}
+	summary := analysis.NewAddrSummary(p.Ctx)
+	r := p.rng.Derive("rl-era")
+	countries := make([]string, 0, len(p.W.Countries))
+	for _, c := range p.W.Countries {
+		countries = append(countries, c.Spec.Code)
+	}
+	perCountry := budget / len(countries)
+	for _, code := range countries {
+		for i := 0; i < perCountry; i++ {
+			dev := p.W.SampleClient(code, r)
+			if dev == nil {
+				continue
+			}
+			// Population drift: 2022's population misses a quarter of
+			// today's devices (and vice versa, devices retired since).
+			if dev.ID%4 == 0 {
+				continue
+			}
+			// Earlier era: epochs shifted far before the 2024 window.
+			epoch := dev.EpochAt(p.W.Cfg.Start, p.W.Cfg.Start) - 180 - int64(r.Intn(60))
+			summary.Add(p.W.AddrAt(dev, epoch))
+		}
+	}
+	return summary
+}

@@ -1,0 +1,237 @@
+// Package core orchestrates the paper's end-to-end measurement
+// pipeline — the primary contribution being reproduced:
+//
+//  1. deploy capture-enabled NTP servers into underserved pool zones
+//     and tune their netspeed until the capture rate matches the scan
+//     budget (§3.1);
+//  2. collect client addresses for the four-week window, feeding every
+//     new address to the zgrab scanner in real time (§4.1);
+//  3. build and batch-scan the TUM-style hitlist in the final week for
+//     comparison;
+//  4. run an R&L-era collection for the Table 1 replication column;
+//  5. hand everything to the analysis package.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"ntpscan/internal/analysis"
+	"ntpscan/internal/ipv6x"
+	"ntpscan/internal/netsim"
+	"ntpscan/internal/ntp"
+	"ntpscan/internal/ntppool"
+	"ntpscan/internal/rng"
+	"ntpscan/internal/world"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	// Seed drives everything; same seed, same experiment.
+	Seed uint64
+	// World generation parameters.
+	World world.Config
+	// CaptureBudget is the number of volume-channel capture events
+	// (address-only eyeball syncs reaching our servers). Zero derives
+	// ~3 events per expected distinct address.
+	CaptureBudget int
+	// TargetShare is the per-zone traffic share the netspeed
+	// controller aims for (the paper tuned netspeed until the request
+	// rate matched the scanning budget).
+	TargetShare float64
+	// ResponsiveDupRate is the expected number of *extra* captures of
+	// a responsive device in later address epochs (dynamic addresses
+	// re-captured; drives the addrs-per-cert ratio of Table 2).
+	ResponsiveDupRate float64
+	// Workers for the scan pool.
+	Workers int
+	// Timeout per scan connection; UDPTimeout for connectionless
+	// probes.
+	Timeout    time.Duration
+	UDPTimeout time.Duration
+	// FullPacketNTP routes every capture through a complete UDP
+	// exchange on the fabric instead of the codec fast path. Slower;
+	// used by tests and small demos to prove equivalence.
+	FullPacketNTP bool
+}
+
+func (c *Config) fillDefaults() {
+	c.World.Seed = c.Seed
+	if c.TargetShare == 0 {
+		c.TargetShare = 0.08
+	}
+	if c.ResponsiveDupRate == 0 {
+		c.ResponsiveDupRate = 0.8
+	}
+	if c.Workers == 0 {
+		c.Workers = 64
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 50 * time.Millisecond
+	}
+	if c.UDPTimeout == 0 {
+		c.UDPTimeout = 2 * time.Millisecond
+	}
+	if c.World.DialTimeout == 0 {
+		c.World.DialTimeout = 100 * time.Microsecond
+	}
+}
+
+// VantageServer is one of our capture deployments.
+type VantageServer struct {
+	ID      string
+	Country string
+	Addr    netip.Addr
+	NTP     *ntp.Server
+}
+
+// CaptureRecord is one captured client address with its capturing
+// vantage, the raw material of Tables 1/7 and Appendix B.
+type CaptureRecord struct {
+	Addr    netip.Addr
+	Country string // vantage country
+	Time    time.Time
+}
+
+// Pipeline is a deployed experiment.
+type Pipeline struct {
+	Cfg  Config
+	W    *world.World
+	Pool *ntppool.Pool
+	Ctx  *analysis.Context
+
+	Servers []*VantageServer
+
+	// Collection outputs.
+	Summary    *analysis.AddrSummary
+	EUI        *analysis.EUI64Stats
+	PerCountry map[string]int // distinct addresses per vantage country
+	Captures   int            // total capture events
+
+	rng *rng.Stream
+	// onAddr is invoked for every captured address (duplicates
+	// included) — the real-time scan feed hook.
+	onAddr func(netip.Addr)
+	// respCache memoises the responsive NTP population.
+	respCache []*world.Device
+	// volumeStats gates collection statistics: only volume-channel
+	// captures count toward Tables 1/4/7 and Figures 1/4. The
+	// responsive channel is a DeviceScale population — at full scale it
+	// contributes a negligible sliver of the 3B collected addresses,
+	// but at bench scale ratios it would swamp the AddrScale-denominated
+	// statistics (see DESIGN.md on the two-scale substitution).
+	volumeStats bool
+}
+
+// NewPipeline builds the world and deploys the vantage servers.
+func NewPipeline(cfg Config) *Pipeline {
+	cfg.fillDefaults()
+	w := world.New(cfg.World)
+	p := &Pipeline{
+		Cfg:  cfg,
+		W:    w,
+		Pool: ntppool.New(),
+		Ctx: &analysis.Context{
+			AS:  w.ASReg,
+			Geo: w.Geo,
+			OUI: w.OUIReg,
+		},
+		Summary:    analysis.NewAddrSummary(nil), // AS stats added below
+		PerCountry: make(map[string]int),
+		rng:        rng.New(cfg.Seed ^ 0xc0fe),
+	}
+	p.Summary = analysis.NewAddrSummary(p.Ctx)
+	p.EUI = analysis.NewEUI64Stats(p.Ctx)
+	p.deployServers()
+	return p
+}
+
+// deployServers places one capture server per vantage country (§3.1
+// selected countries with few pool servers relative to routed space)
+// and runs the netspeed controller.
+func (p *Pipeline) deployServers() {
+	for _, c := range p.W.Countries {
+		spec := c.Spec
+		p.Pool.SetBackground(spec.Code, spec.PoolBG)
+		if !spec.Vantage {
+			continue
+		}
+		country := spec.Code
+		addr := ipv6x.FromParts(0x2a10_0000_0000_0000|uint64(c.Index)<<32, 0x123)
+		srv := ntp.NewServer(ntp.ServerConfig{
+			Now: p.W.Clock().Now,
+			Capture: func(client netip.AddrPort, at time.Time) {
+				p.recordCapture(client.Addr(), country, at)
+			},
+		})
+		p.W.Fabric().Register(addr, netsim.NewHost("vantage-"+country).HandleUDP(ntp.Port, srv.Handle))
+		vs := &VantageServer{ID: "ours-" + country, Country: country, Addr: addr, NTP: srv}
+		p.Servers = append(p.Servers, vs)
+		p.Pool.AddServer(&ntppool.Server{
+			ID: vs.ID, Country: country, Addr: addr, NetSpeed: 1,
+		})
+		p.tuneNetspeed(vs)
+	}
+	p.Pool.SetGlobalBackground(5000)
+}
+
+// tuneNetspeed raises the server's weight step by step until its zone
+// share reaches the target — the monitor-and-increase loop of §3.1.
+func (p *Pipeline) tuneNetspeed(vs *VantageServer) {
+	speed := 1.0
+	for i := 0; i < 64; i++ {
+		if p.Pool.ShareEstimate(vs.Country) >= p.Cfg.TargetShare {
+			return
+		}
+		speed *= 1.5
+		p.Pool.SetNetSpeed(vs.ID, speed)
+	}
+}
+
+// ServerByCountry returns the vantage deployment for a country.
+func (p *Pipeline) ServerByCountry(code string) (*VantageServer, bool) {
+	for _, s := range p.Servers {
+		if s.Country == code {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// recordCapture is the capture hook: dedup, statistics, and the
+// real-time feed.
+func (p *Pipeline) recordCapture(addr netip.Addr, country string, at time.Time) {
+	p.Captures++
+	if p.volumeStats {
+		p.EUI.Add(addr, country)
+		if p.Summary.Add(addr) {
+			p.PerCountry[country]++
+		}
+	}
+	if p.onAddr != nil {
+		p.onAddr(addr)
+	}
+}
+
+// captureVia routes one client sync through the vantage server: either
+// a full UDP exchange on the fabric or the codec fast path. Both paths
+// run the same ntp.Server logic and fire the same capture hook.
+func (p *Pipeline) captureVia(vs *VantageServer, client netip.Addr) error {
+	now := p.W.Clock().Now()
+	if p.Cfg.FullPacketNTP {
+		// The fabric has no latency: a response either arrives
+		// immediately or was lost. A short timeout keeps lossy mass
+		// collections from serialising on dead queries.
+		_, err := ntp.QuerySim(p.W.Fabric(),
+			netip.AddrPortFrom(client, 40000+uint16(p.rng.Intn(20000))),
+			netip.AddrPortFrom(vs.Addr, ntp.Port),
+			p.W.Clock().Now, 10*time.Millisecond)
+		return err
+	}
+	req := ntp.NewClientPacket(now).Encode()
+	if resp := vs.NTP.Respond(netip.AddrPortFrom(client, 40000+uint16(p.rng.Intn(20000))), req); resp == nil {
+		return fmt.Errorf("core: vantage %s dropped request", vs.ID)
+	}
+	return nil
+}

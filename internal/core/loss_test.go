@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"ntpscan/internal/analysis"
+	"ntpscan/internal/world"
+)
+
+// Failure injection: the pipeline must behave sensibly on a lossy
+// fabric — fewer full-packet captures and degraded UDP scans, never
+// hangs or crashes.
+
+func lossyConfig(seed uint64, loss float64) Config {
+	return Config{
+		Seed: seed,
+		World: world.Config{
+			DeviceScale: 1e-3,
+			AddrScale:   1e-6,
+			ASScale:     0.02,
+			Loss:        loss,
+		},
+		Workers:       16,
+		CaptureBudget: 2000,
+		FullPacketNTP: true,
+	}
+}
+
+func TestLossReducesFullPacketCaptures(t *testing.T) {
+	clean := NewPipeline(lossyConfig(5, 0))
+	clean.CollectOnly()
+
+	lossy := NewPipeline(lossyConfig(5, 0.5))
+	lossy.CollectOnly()
+
+	if lossy.Captures >= clean.Captures {
+		t.Fatalf("50%% loss should reduce captures: %d vs %d",
+			lossy.Captures, clean.Captures)
+	}
+	if lossy.Captures == 0 {
+		t.Fatal("all captures lost at 50% loss")
+	}
+	// Roughly half the request packets vanish (and some responses too,
+	// but capture happens server-side on request arrival).
+	ratio := float64(lossy.Captures) / float64(clean.Captures)
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Fatalf("capture ratio %.2f far from the configured loss", ratio)
+	}
+}
+
+func TestLossyScanStillFindsDevices(t *testing.T) {
+	cfg := lossyConfig(6, 0.3)
+	cfg.FullPacketNTP = false // codec captures; loss hits the scans
+	cfg.CaptureBudget = 0
+	p := NewPipeline(cfg)
+	data := p.RunNTPCampaign(context.Background())
+	resp, _, _ := analysis.HitRate(data)
+	if resp == 0 {
+		t.Fatal("nothing found through a 30% lossy fabric")
+	}
+	// TCP grabs are connection-oriented in the sim (loss applies to
+	// datagrams), so HTTP findings survive; CoAP suffers.
+	groups := analysis.TitleGroups(data)
+	if analysis.FindGroup(groups, "FRITZ!Box") == nil {
+		t.Fatal("TCP findings lost under UDP loss")
+	}
+}
+
+func TestCoAPDegradesUnderLoss(t *testing.T) {
+	count := func(loss float64) int {
+		cfg := lossyConfig(7, loss)
+		cfg.FullPacketNTP = false
+		cfg.CaptureBudget = 0
+		p := NewPipeline(cfg)
+		data := p.RunNTPCampaign(context.Background())
+		n := 0
+		for _, r := range data.Successes("coap") {
+			_ = r
+			n++
+		}
+		return n
+	}
+	clean, lossy := count(0), count(0.6)
+	if clean == 0 {
+		t.Skip("no CoAP devices at this scale")
+	}
+	if lossy >= clean {
+		t.Fatalf("CoAP successes did not degrade: %d vs %d", lossy, clean)
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+
+	"ntpscan/internal/analysis"
+	"ntpscan/internal/hitlist"
+	"ntpscan/internal/zgrab"
+)
+
+// ScanSource is the address our scan host probes from. Its reverse DNS
+// and web page identify the research scan in the real deployment; here
+// it identifies us to the telescope.
+var ScanSource = netip.MustParseAddr("2a10:ffff:5ca::1")
+
+// resultSink accumulates scan results from concurrent workers.
+type resultSink struct {
+	mu  sync.Mutex
+	all []*zgrab.Result
+}
+
+func (s *resultSink) add(r *zgrab.Result) {
+	s.mu.Lock()
+	s.all = append(s.all, r)
+	s.mu.Unlock()
+}
+
+// newScanner assembles a scanner wired to the pipeline's fabric.
+func (p *Pipeline) newScanner(sink *resultSink) *zgrab.Scanner {
+	return zgrab.NewScanner(zgrab.Config{
+		Fabric:     p.W.Fabric(),
+		Clock:      p.W.Clock(),
+		Source:     ScanSource,
+		Timeout:    p.Cfg.Timeout,
+		UDPTimeout: p.Cfg.UDPTimeout,
+		Workers:    p.Cfg.Workers,
+		OnResult:   sink.add,
+	})
+}
+
+// RunNTPCampaign performs the §4.1 core experiment: collect addresses
+// for the full window while scanning every newly seen address in real
+// time. It returns the scan dataset; collection statistics live on the
+// pipeline afterwards.
+func (p *Pipeline) RunNTPCampaign(ctx context.Context) *analysis.Dataset {
+	sink := &resultSink{}
+	scanner := p.newScanner(sink)
+	scanner.Start(ctx)
+	p.Collect(func(addr netip.Addr) {
+		scanner.Submit(addr)
+	})
+	scanner.Close()
+	return analysis.NewDataset("ntp", sink.all)
+}
+
+// CollectOnly runs the collection without scanning (Table 1 runs).
+func (p *Pipeline) CollectOnly() {
+	p.Collect(nil)
+}
+
+// BuildHitlist constructs the TUM-style list against the current world
+// state (call after collection so dyndns seeds carry current
+// addresses). Static deployments are registered first.
+func (p *Pipeline) BuildHitlist(cfg hitlist.Config) *hitlist.Hitlist {
+	if cfg.Seed == 0 {
+		cfg.Seed = p.Cfg.Seed ^ 0x411
+	}
+	p.W.RegisterStatic()
+	return hitlist.Build(p.W, cfg)
+}
+
+// ScanHitlist batch-scans the full hitlist (the paper scans the
+// unfiltered variant, §4.1) and returns the dataset.
+func (p *Pipeline) ScanHitlist(ctx context.Context, h *hitlist.Hitlist) *analysis.Dataset {
+	sink := &resultSink{}
+	scanner := p.newScanner(sink)
+	scanner.Start(ctx)
+	for _, addr := range h.Full {
+		scanner.Submit(addr)
+	}
+	scanner.Close()
+	return analysis.NewDataset("hitlist", sink.all)
+}
+
+// PublicHitlist applies the responsiveness filter plus aliased-prefix
+// dealiasing, producing the published variant for Table 1's "public"
+// column (TUM's public list excludes aliased blocks).
+func (p *Pipeline) PublicHitlist(ctx context.Context, h *hitlist.Hitlist) []netip.Addr {
+	responsive := h.Public(func(a netip.Addr) bool {
+		return hitlist.Probe(ctx, p.W.Fabric(), ScanSource, a, p.Cfg.Timeout)
+	}, p.Cfg.Workers)
+	return h.Dealias(responsive, 8, 2)
+}
+
+// SummarizeHitlist builds address summaries for hitlist variants.
+func (p *Pipeline) SummarizeHitlist(addrs []netip.Addr) *analysis.AddrSummary {
+	return analysis.SummarizeAddrs(p.Ctx, addrs)
+}

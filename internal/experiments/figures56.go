@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+
+	"ntpscan/internal/analysis"
+	"ntpscan/internal/tabulate"
+)
+
+// Figure5 renders Appendix C's SSH outdatedness counted by addresses
+// and networks instead of unique keys. Key-reusing outdated servers
+// count once per address here, so outdatedness rises relative to
+// Figure 2 and the NTP-vs-hitlist gap widens — the paper's observation.
+func (s *Suite) Figure5() string {
+	stats := analysis.SSHOutdatedByNetwork(s.NTP, s.Hitlist)
+	t := tabulate.New("Figure 5: SSH patch state by network",
+		"Dataset", "Granularity", "Assessable", "Outdated", "Outdated share").
+		SetAligns(tabulate.Left, tabulate.Left, tabulate.Right, tabulate.Right, tabulate.Right)
+	for i, name := range []string{"Our Data", "TUM Hitlist"} {
+		for _, row := range stats[i] {
+			t.Cells(name, row.Granularity,
+				tabulate.Count(row.Assessable), tabulate.Count(row.Outdated),
+				tabulate.Pct(row.OutdatedShare()))
+		}
+	}
+	return section("Figure 5 (Appendix C)", t.String())
+}
+
+// Figure6 renders Appendix C's broker access control counted by
+// networks.
+func (s *Suite) Figure6() string {
+	var b strings.Builder
+	for _, proto := range []string{"mqtt", "amqp"} {
+		t := tabulate.New("Figure 6: "+strings.ToUpper(proto)+" access control by network",
+			"Dataset", "Granularity", "Open", "Access control", "Open share").
+			SetAligns(tabulate.Left, tabulate.Left, tabulate.Right, tabulate.Right, tabulate.Right)
+		for i, d := range []*analysis.Dataset{s.NTP, s.Hitlist} {
+			name := []string{"Our Data", "TUM Hitlist"}[i]
+			for _, row := range analysis.BrokerAccessByNetwork(d, proto) {
+				t.Cells(name, row.Granularity,
+					tabulate.Count(row.Open), tabulate.Count(row.AccessControl),
+					tabulate.Pct(row.OpenShare()))
+			}
+		}
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return section("Figure 6 (Appendix C)", b.String())
+}

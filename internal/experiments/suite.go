@@ -1,0 +1,161 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation. A Suite runs the full pipeline once (collection,
+// real-time NTP scan, hitlist build + batch scan, R&L-era comparison
+// run) and renders each table/figure from the shared results, exactly
+// as the paper derives all of its outputs from one measurement
+// campaign.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"ntpscan/internal/analysis"
+	"ntpscan/internal/core"
+	"ntpscan/internal/hitlist"
+	"ntpscan/internal/world"
+)
+
+// Options sizes a suite run.
+type Options struct {
+	// Seed drives the whole experiment.
+	Seed uint64
+	// DeviceScale/AddrScale/ASScale forward to world generation. Zero
+	// values select the bench defaults (DeviceScale 3e-3, AddrScale
+	// 6e-6, ASScale 0.03), which run the full suite in tens of
+	// seconds.
+	DeviceScale float64
+	AddrScale   float64
+	ASScale     float64
+	// Workers for scanning.
+	Workers int
+}
+
+func (o *Options) fill() {
+	if o.Seed == 0 {
+		o.Seed = 20240720
+	}
+	if o.DeviceScale == 0 {
+		o.DeviceScale = 3e-3
+	}
+	if o.AddrScale == 0 {
+		o.AddrScale = 6e-6
+	}
+	if o.ASScale == 0 {
+		o.ASScale = 0.03
+	}
+	if o.Workers == 0 {
+		o.Workers = 64
+	}
+}
+
+// Suite is one executed campaign with all derived datasets.
+type Suite struct {
+	Opts Options
+	P    *core.Pipeline
+
+	NTP     *analysis.Dataset // real-time NTP-sourced scan results
+	Hitlist *analysis.Dataset // batch hitlist scan results
+
+	HL         *hitlist.Hitlist
+	HitFullSum *analysis.AddrSummary
+	HitPubSum  *analysis.AddrSummary
+	RLSum      *analysis.AddrSummary
+	PublicLen  int
+}
+
+// Run executes the campaign.
+func Run(opts Options) *Suite {
+	opts.fill()
+	p := core.NewPipeline(core.Config{
+		Seed: opts.Seed,
+		World: world.Config{
+			DeviceScale: opts.DeviceScale,
+			AddrScale:   opts.AddrScale,
+			ASScale:     opts.ASScale,
+		},
+		Workers: opts.Workers,
+	})
+	s := &Suite{Opts: opts, P: p}
+	ctx := context.Background()
+
+	s.NTP = p.RunNTPCampaign(ctx)
+	s.HL = p.BuildHitlist(hitlist.Config{})
+	s.Hitlist = p.ScanHitlist(ctx, s.HL)
+
+	pub := p.PublicHitlist(ctx, s.HL)
+	s.PublicLen = len(pub)
+	s.HitFullSum = p.SummarizeHitlist(s.HL.Full)
+	s.HitPubSum = p.SummarizeHitlist(pub)
+	s.RLSum = p.RLCollect(0)
+	return s
+}
+
+// CollectOnly runs just the collection phases (enough for Table 1,
+// Figure 1, Table 4, Figure 4, Table 7) — much faster than Run.
+func CollectOnly(opts Options) *Suite {
+	opts.fill()
+	p := core.NewPipeline(core.Config{
+		Seed: opts.Seed,
+		World: world.Config{
+			DeviceScale: opts.DeviceScale,
+			AddrScale:   opts.AddrScale,
+			ASScale:     opts.ASScale,
+		},
+		Workers: opts.Workers,
+	})
+	s := &Suite{Opts: opts, P: p}
+	p.CollectOnly()
+	s.HL = p.BuildHitlist(hitlist.Config{})
+	s.HitFullSum = p.SummarizeHitlist(s.HL.Full)
+	pub := p.PublicHitlist(context.Background(), s.HL)
+	s.PublicLen = len(pub)
+	s.HitPubSum = p.SummarizeHitlist(pub)
+	s.RLSum = p.RLCollect(0)
+	return s
+}
+
+// section renders a titled block.
+func section(title, body string) string {
+	var b strings.Builder
+	b.WriteString("== " + title + " ==\n")
+	b.WriteString(body)
+	if !strings.HasSuffix(body, "\n") {
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// addrsOf extracts an address list from a summary.
+func addrsOf(s *analysis.AddrSummary) []netip.Addr {
+	return s.Set().Sorted()
+}
+
+// All renders every table and figure.
+func (s *Suite) All() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ntpscan experiment suite (seed=%d, device-scale=%g, addr-scale=%g)\n\n",
+		s.Opts.Seed, s.Opts.DeviceScale, s.Opts.AddrScale)
+	b.WriteString(s.Table1())
+	b.WriteString(s.Figure1())
+	if s.NTP != nil {
+		b.WriteString(s.Table2())
+		b.WriteString(s.Table3())
+		b.WriteString(s.Figure2())
+		b.WriteString(s.Figure3())
+		b.WriteString(s.Headline())
+		b.WriteString(s.KeyReuse())
+		b.WriteString(s.Table5())
+		b.WriteString(s.Table6())
+		b.WriteString(s.Figure5())
+		b.WriteString(s.Figure6())
+		b.WriteString(s.Table8())
+	}
+	b.WriteString(s.Table4())
+	b.WriteString(s.Figure4())
+	b.WriteString(s.Table7())
+	return b.String()
+}

@@ -1,0 +1,40 @@
+package ipv6x_test
+
+import (
+	"fmt"
+	"net/netip"
+
+	"ntpscan/internal/ipv6x"
+)
+
+func ExampleClassifyIID() {
+	for _, s := range []string{
+		"2001:db8::1",
+		"2001:db8::beef",
+		"2001:db8:1:2:8a2e:370:7334:abcd",
+	} {
+		addr := netip.MustParseAddr(s)
+		fmt.Printf("%s -> %v\n", s, ipv6x.ClassifyIID(addr))
+	}
+	// Output:
+	// 2001:db8::1 -> last-byte
+	// 2001:db8::beef -> last-2-bytes
+	// 2001:db8:1:2:8a2e:370:7334:abcd -> entropy>=2
+}
+
+func ExampleExtractMAC() {
+	// A FRITZ!Box-style EUI-64 address embeds the device MAC.
+	mac := ipv6x.MAC{0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde}
+	addr := ipv6x.FromParts(0x20010db8_00010002, ipv6x.EmbedMAC(mac))
+	got, ok := ipv6x.ExtractMAC(addr)
+	fmt.Println(ok, got, got.Universal())
+	// Output:
+	// true 34:56:78:9a:bc:de true
+}
+
+func ExamplePrefix48() {
+	addr := netip.MustParseAddr("2001:db8:aaaa:bbbb::1")
+	fmt.Println(ipv6x.Prefix48(addr))
+	// Output:
+	// 2001:db8:aaaa::/48
+}

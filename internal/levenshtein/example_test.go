@@ -1,0 +1,30 @@
+package levenshtein_test
+
+import (
+	"fmt"
+
+	"ntpscan/internal/levenshtein"
+)
+
+func ExampleCluster() {
+	// The paper's §4.3.1 grouping: titles within normalized distance
+	// 0.25 merge, so version variants collapse into one device type.
+	titles := []string{
+		"FRITZ!Box 7590",
+		"FRITZ!Box 7490",
+		"D-LINK",
+		"FRITZ!Box 7530",
+	}
+	for _, g := range levenshtein.Cluster(titles, nil, 0.25) {
+		fmt.Printf("%s: %d\n", g.Representative, g.Count)
+	}
+	// Output:
+	// FRITZ!Box 7590: 3
+	// D-LINK: 1
+}
+
+func ExampleNormalized() {
+	fmt.Printf("%.2f\n", levenshtein.Normalized("Plesk Obsidian 18.0.34", "Plesk Obsidian 18.0.35"))
+	// Output:
+	// 0.05
+}

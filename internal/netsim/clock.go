@@ -1,0 +1,61 @@
+package netsim
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the simulation. The scan pipeline stamps
+// events through a Clock so mass experiments can run on a manual clock
+// (advancing weeks of collection time in milliseconds of wall time) while
+// the real-socket tools use the system clock.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock is the system clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// ManualClock is a logical clock advanced explicitly by the experiment
+// driver. It is safe for concurrent use.
+type ManualClock struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewManualClock returns a manual clock starting at the given instant.
+func NewManualClock(start time.Time) *ManualClock {
+	return &ManualClock{now: start}
+}
+
+// Now implements Clock.
+func (c *ManualClock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time. It
+// panics on negative d — the simulation is strictly monotonic.
+func (c *ManualClock) Advance(d time.Duration) time.Time {
+	if d < 0 {
+		panic("netsim: ManualClock.Advance with negative duration")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}
+
+// Set jumps the clock to t. It panics if t is before the current time.
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.Before(c.now) {
+		panic("netsim: ManualClock.Set moving backwards")
+	}
+	c.now = t
+}

@@ -1,0 +1,392 @@
+// Package netsim is the virtual IPv6 Internet the reproduction runs on.
+//
+// It stands in for the paper's actual measurement substrate — the public
+// Internet — which is not available here. Hosts register addresses and
+// per-port handlers; scanners dial them through a net-compatible API and
+// cannot distinguish the fabric from real sockets: streams implement
+// net.Conn with deadlines, closed ports refuse, filtered hosts time out,
+// unrouted space blackholes, and links can drop packets.
+//
+// Hosts are passive. No goroutine exists for a host until something
+// connects to it, so populations of millions of devices cost only their
+// descriptors.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ntpscan/internal/rng"
+)
+
+// Errors returned by dial operations, mirroring kernel network errors.
+var (
+	// ErrConnRefused is returned when the destination host exists but
+	// the port is closed (RST semantics).
+	ErrConnRefused = errors.New("netsim: connection refused")
+	// ErrTimeout is returned when the destination never answers
+	// (filtered port, unrouted address, or lossy blackhole).
+	ErrTimeout = errors.New("netsim: i/o timeout")
+	// ErrPortInUse is returned when binding an already-bound UDP socket.
+	ErrPortInUse = errors.New("netsim: address already in use")
+)
+
+// StreamHandler serves one accepted stream connection, like the argument
+// to a net/http-style server loop. The handler owns conn and must close
+// it when done (the dialer side closes independently).
+type StreamHandler func(conn net.Conn)
+
+// PacketHandler handles one inbound UDP datagram addressed to a host
+// port. Returned slices are sent back to the source as individual
+// datagrams; nil means no response.
+type PacketHandler func(from netip.AddrPort, payload []byte) [][]byte
+
+// Host is a simulated machine. A host may be registered under several
+// addresses (multi-homing, dynamic renumbering). The zero value is a host
+// with every port closed.
+type Host struct {
+	// Name is a diagnostic label (device model, role).
+	Name string
+	// TCP maps open TCP ports to their handlers.
+	TCP map[uint16]StreamHandler
+	// UDP maps open UDP ports to their handlers.
+	UDP map[uint16]PacketHandler
+	// Filtered selects firewall behaviour for non-open ports: true
+	// drops probes silently (scanner sees a timeout), false refuses
+	// (scanner sees ECONNREFUSED). Consumer CPE typically filters.
+	Filtered bool
+}
+
+// NewHost returns an empty host with the given label.
+func NewHost(name string) *Host {
+	return &Host{Name: name, TCP: map[uint16]StreamHandler{}, UDP: map[uint16]PacketHandler{}}
+}
+
+// HandleTCP opens a TCP port with the given handler and returns the host
+// for chaining.
+func (h *Host) HandleTCP(port uint16, fn StreamHandler) *Host {
+	if h.TCP == nil {
+		h.TCP = map[uint16]StreamHandler{}
+	}
+	h.TCP[port] = fn
+	return h
+}
+
+// HandleUDP opens a UDP port with the given handler.
+func (h *Host) HandleUDP(port uint16, fn PacketHandler) *Host {
+	if h.UDP == nil {
+		h.UDP = map[uint16]PacketHandler{}
+	}
+	h.UDP[port] = fn
+	return h
+}
+
+// PacketInfo describes one observed transport event for sniffers: a TCP
+// connection attempt (SYN equivalent) or a UDP datagram.
+type PacketInfo struct {
+	Time    time.Time
+	Proto   string // "tcp" or "udp"
+	Src     netip.AddrPort
+	Dst     netip.AddrPort
+	Payload []byte // UDP payload; nil for TCP attempts
+}
+
+// SnifferFunc receives packets destined to a monitored prefix. It runs
+// synchronously on the sender's path, so implementations must be fast and
+// must not dial back into the network inline.
+type SnifferFunc func(PacketInfo)
+
+// Config tunes fabric behaviour.
+type Config struct {
+	// Clock stamps sniffed packets and connection events. Defaults to
+	// RealClock.
+	Clock Clock
+	// DialTimeout bounds how long a blackholed dial blocks when the
+	// caller's context has no deadline. Defaults to 2 seconds.
+	DialTimeout time.Duration
+	// LossProb drops each UDP datagram with this probability.
+	LossProb float64
+	// Seed seeds the fabric's internal randomness (loss decisions).
+	Seed uint64
+}
+
+// Network is the fabric. All methods are safe for concurrent use.
+type Network struct {
+	cfg   Config
+	clock Clock
+
+	mu    sync.RWMutex
+	hosts map[netip.Addr]*Host
+	// prefixHosts answer for every address in a /64 (aliased prefixes:
+	// CDN front ends where the whole block responds).
+	prefixHosts map[netip.Prefix]*Host
+	udpBinds    map[netip.AddrPort]*UDPConn
+	sniffers    []snifferEntry
+
+	lossMu sync.Mutex
+	loss   *rng.Stream
+
+	dials   atomic.Int64 // TCP dial attempts
+	packets atomic.Int64 // UDP datagrams sent
+}
+
+type snifferEntry struct {
+	prefix netip.Prefix
+	fn     SnifferFunc
+}
+
+// New returns an empty network.
+func New(cfg Config) *Network {
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock{}
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	return &Network{
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		hosts:       make(map[netip.Addr]*Host),
+		prefixHosts: make(map[netip.Prefix]*Host),
+		udpBinds:    make(map[netip.AddrPort]*UDPConn),
+		loss:        rng.New(cfg.Seed ^ 0x6e657473696d),
+	}
+}
+
+// Clock returns the fabric clock.
+func (n *Network) Clock() Clock { return n.clock }
+
+// Register binds addr to host. Registering an address twice replaces the
+// previous binding (address reassignment).
+func (n *Network) Register(addr netip.Addr, h *Host) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.hosts[addr] = h
+}
+
+// Unregister removes the binding for addr, turning it into unrouted
+// space.
+func (n *Network) Unregister(addr netip.Addr) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.hosts, addr)
+}
+
+// RegisterPrefix binds every address in the /64 containing p's base to
+// host (aliased-prefix semantics). Exact-address bindings take
+// precedence. Prefixes other than /64 are rejected — real aliased
+// detection operates at /64 and wider blocks are unrealistic to answer
+// wholesale.
+func (n *Network) RegisterPrefix(p netip.Prefix, h *Host) error {
+	if p.Bits() != 64 {
+		return fmt.Errorf("netsim: RegisterPrefix wants a /64, got %v", p)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.prefixHosts[p.Masked()] = h
+	return nil
+}
+
+// HostAt returns the host currently answering at addr: an exact binding
+// if one exists, otherwise an aliased-prefix binding.
+func (n *Network) HostAt(addr netip.Addr) (*Host, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.hostAtLocked(addr)
+}
+
+func (n *Network) hostAtLocked(addr netip.Addr) (*Host, bool) {
+	if h, ok := n.hosts[addr]; ok {
+		return h, true
+	}
+	if len(n.prefixHosts) > 0 {
+		if p, err := addr.Prefix(64); err == nil {
+			if h, ok := n.prefixHosts[p]; ok {
+				return h, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// NumHosts returns the number of bound addresses.
+func (n *Network) NumHosts() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return len(n.hosts)
+}
+
+// Sniff registers fn for all traffic destined into prefix (the
+// telescope's tcpdump). It returns a function removing the sniffer.
+func (n *Network) Sniff(prefix netip.Prefix, fn SnifferFunc) (cancel func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	e := snifferEntry{prefix: prefix.Masked(), fn: fn}
+	n.sniffers = append(n.sniffers, e)
+	idx := len(n.sniffers) - 1
+	return func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if idx < len(n.sniffers) {
+			n.sniffers[idx].fn = nil
+		}
+	}
+}
+
+func (n *Network) notifySniffers(pi PacketInfo) {
+	n.mu.RLock()
+	entries := n.sniffers
+	n.mu.RUnlock()
+	for _, e := range entries {
+		if e.fn != nil && e.prefix.Contains(pi.Dst.Addr()) {
+			e.fn(pi)
+		}
+	}
+}
+
+// Stats returns cumulative dial attempts and UDP datagrams.
+func (n *Network) Stats() (tcpDials, udpPackets int64) {
+	return n.dials.Load(), n.packets.Load()
+}
+
+// DialTCP attempts a TCP connection from src to dst. Error semantics:
+//
+//   - open port: success, the host's handler runs in a new goroutine;
+//   - closed port on a non-filtered host: ErrConnRefused immediately;
+//   - closed port on a filtered host, or no host at dst: blocks until
+//     ctx is done or the dial timeout elapses, then ErrTimeout.
+func (n *Network) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPort) (net.Conn, error) {
+	n.dials.Add(1)
+	n.notifySniffers(PacketInfo{
+		Time: n.clock.Now(), Proto: "tcp",
+		Src: netip.AddrPortFrom(src, ephemeralPort(src, dst)), Dst: dst,
+	})
+
+	n.mu.RLock()
+	host, ok := n.hostAtLocked(dst.Addr())
+	n.mu.RUnlock()
+
+	if ok {
+		if handler, open := host.TCP[dst.Port()]; open {
+			client, server := NewConnPair(
+				netip.AddrPortFrom(src, ephemeralPort(src, dst)), dst)
+			go handler(server)
+			return client, nil
+		}
+		if !host.Filtered {
+			return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrConnRefused}
+		}
+	}
+	// Blackhole: wait out the caller's patience.
+	timer := time.NewTimer(n.cfg.DialTimeout)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrTimeout}
+	case <-timer.C:
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrTimeout}
+	}
+}
+
+// ephemeralPort derives a stable pseudo-ephemeral source port for a flow
+// so logs and sniffer output are reproducible.
+func ephemeralPort(src netip.Addr, dst netip.AddrPort) uint16 {
+	b := src.As16()
+	d := dst.Addr().As16()
+	var h uint32 = 2166136261
+	for _, x := range b {
+		h = (h ^ uint32(x)) * 16777619
+	}
+	for _, x := range d {
+		h = (h ^ uint32(x)) * 16777619
+	}
+	h = (h ^ uint32(dst.Port())) * 16777619
+	return uint16(32768 + h%28232)
+}
+
+// dropPacket applies the configured loss probability.
+func (n *Network) dropPacket() bool {
+	if n.cfg.LossProb <= 0 {
+		return false
+	}
+	n.lossMu.Lock()
+	defer n.lossMu.Unlock()
+	return n.loss.Bool(n.cfg.LossProb)
+}
+
+// SendUDP delivers one datagram from src to dst, outside any bound
+// socket (fire-and-forget). Responses from host handlers are delivered to
+// the UDPConn bound at src, if any; otherwise they are dropped.
+func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte) {
+	n.packets.Add(1)
+	n.notifySniffers(PacketInfo{
+		Time: n.clock.Now(), Proto: "udp", Src: src, Dst: dst, Payload: payload,
+	})
+	if n.dropPacket() {
+		return
+	}
+
+	n.mu.RLock()
+	if bound, ok := n.udpBinds[dst]; ok {
+		n.mu.RUnlock()
+		bound.enqueue(src, payload)
+		return
+	}
+	host, ok := n.hostAtLocked(dst.Addr())
+	n.mu.RUnlock()
+	if !ok {
+		return
+	}
+	handler, open := host.UDP[dst.Port()]
+	if !open {
+		return
+	}
+	for _, resp := range handler(src, payload) {
+		if n.dropPacket() {
+			continue
+		}
+		n.mu.RLock()
+		back, ok := n.udpBinds[src]
+		n.mu.RUnlock()
+		if ok {
+			back.enqueue(dst, resp)
+		}
+	}
+}
+
+// ListenUDP binds a client-side UDP socket at local. Port 0 picks a free
+// ephemeral port deterministically derived from the address.
+func (n *Network) ListenUDP(local netip.AddrPort) (*UDPConn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if local.Port() == 0 {
+		for p := uint16(33000); ; p++ {
+			cand := netip.AddrPortFrom(local.Addr(), p)
+			if _, taken := n.udpBinds[cand]; !taken {
+				local = cand
+				break
+			}
+			if p == 65535 {
+				return nil, fmt.Errorf("netsim: no free ports on %v", local.Addr())
+			}
+		}
+	}
+	if _, taken := n.udpBinds[local]; taken {
+		return nil, ErrPortInUse
+	}
+	c := newUDPConn(n, local)
+	n.udpBinds[local] = c
+	return c, nil
+}
+
+func (n *Network) closeUDP(local netip.AddrPort) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.udpBinds, local)
+}

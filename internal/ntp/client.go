@@ -1,0 +1,121 @@
+package ntp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"ntpscan/internal/netsim"
+)
+
+// Result is the outcome of one client exchange.
+type Result struct {
+	Server   netip.AddrPort
+	Stratum  uint8
+	RefID    [4]byte
+	Offset   time.Duration // estimated clock offset (server - client)
+	Delay    time.Duration // round-trip delay excluding server hold time
+	Response *Packet
+}
+
+// Errors returned by clients.
+var (
+	ErrNoResponse  = errors.New("ntp: no response before deadline")
+	ErrBogusOrigin = errors.New("ntp: response origin does not echo our transmit time")
+	ErrKissOfDeath = errors.New("ntp: kiss-of-death (stratum 0) response")
+)
+
+// evaluate validates a response against the request and computes
+// offset/delay with the standard four-timestamp formula.
+func evaluate(req *Packet, resp *Packet, server netip.AddrPort, sent, recvd time.Time) (*Result, error) {
+	if resp.Mode != ModeServer {
+		return nil, fmt.Errorf("ntp: unexpected response mode %v", resp.Mode)
+	}
+	if resp.OriginTime != req.TransmitTime {
+		return nil, ErrBogusOrigin
+	}
+	if resp.Stratum == 0 {
+		return nil, ErrKissOfDeath
+	}
+	t1 := sent
+	t2 := resp.ReceiveTime.Time()
+	t3 := resp.TransmitTime.Time()
+	t4 := recvd
+	offset := (t2.Sub(t1) + t3.Sub(t4)) / 2
+	delay := t4.Sub(t1) - t3.Sub(t2)
+	return &Result{
+		Server:   server,
+		Stratum:  resp.Stratum,
+		RefID:    resp.ReferenceID,
+		Offset:   offset,
+		Delay:    delay,
+		Response: resp,
+	}, nil
+}
+
+// QueryConn performs one SNTP exchange over an already-bound real UDP
+// socket (used by cmd tools and the realsockets example).
+func QueryConn(conn net.PacketConn, server net.Addr, timeout time.Duration) (*Result, error) {
+	req := NewClientPacket(time.Now())
+	sent := time.Now()
+	if _, err := conn.WriteTo(req.Encode(), server); err != nil {
+		return nil, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 1024)
+	for {
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			return nil, ErrNoResponse
+		}
+		if from.String() != server.String() {
+			continue // stray datagram from elsewhere
+		}
+		recvd := time.Now()
+		resp, err := Decode(buf[:n])
+		if err != nil {
+			return nil, err
+		}
+		return evaluate(req, resp, addrPortOf(from), sent, recvd)
+	}
+}
+
+// QuerySim performs one SNTP exchange over the netsim fabric from the
+// given source address. now supplies the client's clock (the experiment
+// clock for mass runs).
+func QuerySim(n *netsim.Network, src netip.AddrPort, server netip.AddrPort, now func() time.Time, timeout time.Duration) (*Result, error) {
+	conn, err := n.ListenUDP(src)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	req := NewClientPacket(now())
+	sent := now()
+	if _, err := conn.WriteTo(req.Encode(), server); err != nil {
+		return nil, err
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 1024)
+	for {
+		nr, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			return nil, ErrNoResponse
+		}
+		if from != server {
+			continue
+		}
+		recvd := now()
+		resp, err := Decode(buf[:nr])
+		if err != nil {
+			return nil, err
+		}
+		return evaluate(req, resp, server, sent, recvd)
+	}
+}

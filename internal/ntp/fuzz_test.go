@@ -1,0 +1,29 @@
+package ntp
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzDecode hardens the NTP parser against arbitrary datagrams — the
+// capture server feeds every UDP payload it receives into it.
+func FuzzDecode(f *testing.F) {
+	f.Add(NewClientPacket(time.Unix(1721433600, 0)).Encode())
+	f.Add(make([]byte, PacketSize))
+	f.Add([]byte("not ntp at all, but longer than fourty-eight bytes padding"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-encode into a packet that decodes
+		// to the same header (the first 48 bytes round-trip).
+		back, err := Decode(p.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if *back != *p {
+			t.Fatalf("round trip changed packet:\n%+v\n%+v", p, back)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+// Package ntp implements the subset of RFC 5905 the reproduction needs:
+// the 48-byte packet codec, an SNTP client, and a server whose defining
+// feature — following Rye & Levin and the paper — is that it records the
+// source address of every client that synchronises against it.
+//
+// The same server core runs over a real net.PacketConn (cmd/ntpserved,
+// the realsockets example) and over the netsim fabric (the mass
+// collection experiments).
+package ntp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// PacketSize is the size of an NTP header without extensions. The server
+// ignores any trailing extension fields, like common implementations.
+const PacketSize = 48
+
+// Port is the IANA-assigned NTP port.
+const Port = 123
+
+// Mode is the 3-bit association mode.
+type Mode uint8
+
+// RFC 5905 association modes.
+const (
+	ModeReserved Mode = iota
+	ModeSymmetricActive
+	ModeSymmetricPassive
+	ModeClient
+	ModeServer
+	ModeBroadcast
+	ModeControl
+	ModePrivate
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	names := [...]string{
+		"reserved", "symmetric-active", "symmetric-passive", "client",
+		"server", "broadcast", "control", "private",
+	}
+	if int(m) < len(names) {
+		return names[m]
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// LeapIndicator is the 2-bit leap warning field.
+type LeapIndicator uint8
+
+// Leap indicator values.
+const (
+	LeapNone LeapIndicator = iota
+	LeapAddSecond
+	LeapDelSecond
+	LeapUnsynchronized
+)
+
+// Time64 is the 64-bit NTP timestamp format: seconds since 1900-01-01
+// UTC in the upper 32 bits, binary fraction in the lower 32.
+type Time64 uint64
+
+// ntpEpochOffset is the difference between the NTP era-0 epoch
+// (1900-01-01) and the Unix epoch (1970-01-01) in seconds.
+const ntpEpochOffset = 2208988800
+
+// ToTime64 converts a time.Time to the NTP short era-0 format.
+func ToTime64(t time.Time) Time64 {
+	if t.IsZero() {
+		return 0
+	}
+	secs := uint64(t.Unix() + ntpEpochOffset)
+	frac := uint64(t.Nanosecond()) << 32 / 1e9
+	return Time64(secs<<32 | frac)
+}
+
+// Time converts back to time.Time (era 0). The zero Time64 maps to the
+// zero time.Time, matching its RFC meaning of "unknown".
+func (ts Time64) Time() time.Time {
+	if ts == 0 {
+		return time.Time{}
+	}
+	secs := int64(ts>>32) - ntpEpochOffset
+	nanos := (int64(ts&0xffffffff)*1e9 + 1<<31) >> 32
+	return time.Unix(secs, nanos).UTC()
+}
+
+// Packet is a decoded NTP header.
+type Packet struct {
+	Leap           LeapIndicator
+	Version        uint8
+	Mode           Mode
+	Stratum        uint8
+	Poll           int8
+	Precision      int8
+	RootDelay      uint32 // 16.16 fixed-point seconds
+	RootDispersion uint32 // 16.16 fixed-point seconds
+	ReferenceID    [4]byte
+	ReferenceTime  Time64
+	OriginTime     Time64
+	ReceiveTime    Time64
+	TransmitTime   Time64
+}
+
+// Errors returned by Decode.
+var (
+	ErrShortPacket = errors.New("ntp: packet shorter than 48 bytes")
+	ErrBadVersion  = errors.New("ntp: unsupported protocol version")
+)
+
+// Encode serialises the header into a fresh 48-byte slice.
+func (p *Packet) Encode() []byte {
+	b := make([]byte, PacketSize)
+	b[0] = byte(p.Leap)<<6 | (p.Version&0x7)<<3 | byte(p.Mode)&0x7
+	b[1] = p.Stratum
+	b[2] = byte(p.Poll)
+	b[3] = byte(p.Precision)
+	binary.BigEndian.PutUint32(b[4:], p.RootDelay)
+	binary.BigEndian.PutUint32(b[8:], p.RootDispersion)
+	copy(b[12:16], p.ReferenceID[:])
+	binary.BigEndian.PutUint64(b[16:], uint64(p.ReferenceTime))
+	binary.BigEndian.PutUint64(b[24:], uint64(p.OriginTime))
+	binary.BigEndian.PutUint64(b[32:], uint64(p.ReceiveTime))
+	binary.BigEndian.PutUint64(b[40:], uint64(p.TransmitTime))
+	return b
+}
+
+// Decode parses an NTP header from b. Extension fields and MACs beyond
+// the first 48 bytes are ignored. Versions 1 through 4 are accepted, as
+// real pool servers answer all of them.
+func Decode(b []byte) (*Packet, error) {
+	if len(b) < PacketSize {
+		return nil, ErrShortPacket
+	}
+	version := b[0] >> 3 & 0x7
+	if version == 0 || version > 4 {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+	p := &Packet{
+		Leap:           LeapIndicator(b[0] >> 6),
+		Version:        version,
+		Mode:           Mode(b[0] & 0x7),
+		Stratum:        b[1],
+		Poll:           int8(b[2]),
+		Precision:      int8(b[3]),
+		RootDelay:      binary.BigEndian.Uint32(b[4:]),
+		RootDispersion: binary.BigEndian.Uint32(b[8:]),
+		ReferenceTime:  Time64(binary.BigEndian.Uint64(b[16:])),
+		OriginTime:     Time64(binary.BigEndian.Uint64(b[24:])),
+		ReceiveTime:    Time64(binary.BigEndian.Uint64(b[32:])),
+		TransmitTime:   Time64(binary.BigEndian.Uint64(b[40:])),
+	}
+	copy(p.ReferenceID[:], b[12:16])
+	return p, nil
+}
+
+// NewClientPacket builds a version-4 mode-3 request with TransmitTime
+// stamped from now, as SNTP clients send.
+func NewClientPacket(now time.Time) *Packet {
+	return &Packet{
+		Version:      4,
+		Mode:         ModeClient,
+		TransmitTime: ToTime64(now),
+	}
+}

@@ -1,0 +1,182 @@
+package ntp
+
+import (
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CaptureFunc receives the source address and arrival time of every valid
+// client request the server answers. This is the paper's core
+// instrumentation point: a pool server sees the addresses of everyone who
+// synchronises against it.
+type CaptureFunc func(client netip.AddrPort, at time.Time)
+
+// ServerConfig configures a capture server.
+type ServerConfig struct {
+	// Stratum reported in responses. Pool servers are typically 2.
+	Stratum uint8
+	// ReferenceID is the 4-byte refid ("GPS\0", upstream v4 addr, ...).
+	ReferenceID [4]byte
+	// Now supplies timestamps; defaults to time.Now. The mass
+	// simulation injects the experiment's logical clock.
+	Now func() time.Time
+	// Capture, if non-nil, is invoked for every answered request.
+	Capture CaptureFunc
+	// MinInterval enables per-client rate limiting: a client address
+	// querying again within the interval receives a kiss-of-death
+	// (stratum 0, refid RATE) instead of time, as abusive clients do
+	// from real pool servers. Zero disables limiting.
+	MinInterval time.Duration
+}
+
+// rateTableMax bounds the rate limiter's memory; beyond it the oldest
+// half is evicted wholesale (abusers re-tracked on their next query).
+const rateTableMax = 1 << 16
+
+// Server answers SNTP requests and captures client addresses. It is
+// transport-agnostic: Respond computes a response for one datagram, and
+// the Handle/Serve adapters bind it to netsim and net sockets.
+type Server struct {
+	cfg      ServerConfig
+	requests atomic.Int64
+	answered atomic.Int64
+	limited  atomic.Int64
+
+	rateMu   sync.Mutex
+	lastSeen map[netip.Addr]time.Time
+}
+
+// NewServer returns a server with the given configuration.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Stratum == 0 {
+		cfg.Stratum = 2
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Server{cfg: cfg}
+	if cfg.MinInterval > 0 {
+		s.lastSeen = make(map[netip.Addr]time.Time)
+	}
+	return s
+}
+
+// Stats returns how many datagrams arrived and how many were answered.
+func (s *Server) Stats() (requests, answered int64) {
+	return s.requests.Load(), s.answered.Load()
+}
+
+// RateLimited returns how many requests were answered with a
+// kiss-of-death.
+func (s *Server) RateLimited() int64 { return s.limited.Load() }
+
+// overRate records the client and reports whether it queried too soon.
+func (s *Server) overRate(client netip.Addr, now time.Time) bool {
+	if s.lastSeen == nil {
+		return false
+	}
+	s.rateMu.Lock()
+	defer s.rateMu.Unlock()
+	last, seen := s.lastSeen[client]
+	if len(s.lastSeen) >= rateTableMax {
+		// Crude wholesale eviction keeps memory bounded without
+		// per-entry timers.
+		s.lastSeen = make(map[netip.Addr]time.Time, rateTableMax/2)
+	}
+	s.lastSeen[client] = now
+	return seen && now.Sub(last) < s.cfg.MinInterval
+}
+
+// kissOfDeath builds the stratum-0 RATE response.
+func kissOfDeath(req *Packet, now time.Time) *Packet {
+	return &Packet{
+		Leap:         LeapUnsynchronized,
+		Version:      req.Version,
+		Mode:         ModeServer,
+		Stratum:      0,
+		ReferenceID:  [4]byte{'R', 'A', 'T', 'E'},
+		OriginTime:   req.TransmitTime,
+		ReceiveTime:  ToTime64(now),
+		TransmitTime: ToTime64(now),
+	}
+}
+
+// Respond processes one request datagram from the given client and
+// returns the response payload, or nil if the datagram is not an
+// answerable NTP request. Capture fires only for answered requests,
+// mirroring the paper's server-side logging.
+func (s *Server) Respond(client netip.AddrPort, payload []byte) []byte {
+	s.requests.Add(1)
+	req, err := Decode(payload)
+	if err != nil {
+		return nil
+	}
+	// Answer client requests; symmetric-active peers also receive a
+	// reply in real deployments but are irrelevant for address
+	// sourcing, so we keep the strict SNTP server behaviour.
+	if req.Mode != ModeClient {
+		return nil
+	}
+	now := s.cfg.Now()
+	if s.overRate(client.Addr(), now) {
+		s.limited.Add(1)
+		return kissOfDeath(req, now).Encode()
+	}
+	resp := &Packet{
+		Leap:          LeapNone,
+		Version:       req.Version,
+		Mode:          ModeServer,
+		Stratum:       s.cfg.Stratum,
+		Poll:          req.Poll,
+		Precision:     -20,
+		ReferenceID:   s.cfg.ReferenceID,
+		ReferenceTime: ToTime64(now.Add(-17 * time.Second)),
+		OriginTime:    req.TransmitTime,
+		ReceiveTime:   ToTime64(now),
+		TransmitTime:  ToTime64(now),
+	}
+	s.answered.Add(1)
+	if s.cfg.Capture != nil {
+		s.cfg.Capture(client, now)
+	}
+	return resp.Encode()
+}
+
+// Handle adapts the server to a netsim packet handler.
+func (s *Server) Handle(from netip.AddrPort, payload []byte) [][]byte {
+	if resp := s.Respond(from, payload); resp != nil {
+		return [][]byte{resp}
+	}
+	return nil
+}
+
+// Serve answers requests on a real socket until the connection is closed
+// or reading fails for another reason. It returns the first terminal
+// error (net.ErrClosed on clean shutdown).
+func (s *Server) Serve(conn net.PacketConn) error {
+	buf := make([]byte, 1024)
+	for {
+		n, raddr, err := conn.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		client := addrPortOf(raddr)
+		if resp := s.Respond(client, buf[:n]); resp != nil {
+			if _, err := conn.WriteTo(resp, raddr); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func addrPortOf(a net.Addr) netip.AddrPort {
+	if ua, ok := a.(*net.UDPAddr); ok {
+		if ap, ok := netip.AddrFromSlice(ua.IP); ok {
+			return netip.AddrPortFrom(ap.Unmap(), uint16(ua.Port))
+		}
+	}
+	return netip.AddrPort{}
+}

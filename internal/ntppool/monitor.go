@@ -1,0 +1,70 @@
+package ntppool
+
+import "sync"
+
+// Monitor models the pool's monitoring system: servers are probed
+// periodically, failures push the score down, successes recover it. A
+// server below MinScore stops receiving clients until it recovers —
+// why the paper insisted on near-100%-uptime hosting for its vantage
+// deployments (Appendix A.1.1).
+type Monitor struct {
+	mu   sync.Mutex
+	pool *Pool
+	// Step sizes follow the real monitor's asymmetric behaviour:
+	// failures hurt much faster than successes heal.
+	FailPenalty   float64
+	SuccessCredit float64
+	MaxScore      float64
+	MinFloor      float64
+}
+
+// NewMonitor returns a monitor for the pool with the production-like
+// default steps.
+func NewMonitor(pool *Pool) *Monitor {
+	return &Monitor{
+		pool:          pool,
+		FailPenalty:   15,
+		SuccessCredit: 5,
+		MaxScore:      20,
+		MinFloor:      -100,
+	}
+}
+
+// Check records one probe outcome for a server and returns its new
+// score.
+func (m *Monitor) Check(id string, ok bool) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, found := m.pool.Server(id)
+	if !found {
+		return 0
+	}
+	score := s.Score
+	if ok {
+		score += m.SuccessCredit
+		if score > m.MaxScore {
+			score = m.MaxScore
+		}
+	} else {
+		score -= m.FailPenalty
+		if score < m.MinFloor {
+			score = m.MinFloor
+		}
+	}
+	m.pool.SetScore(id, score)
+	return score
+}
+
+// CheckAll probes every registered server with the given function and
+// returns how many are currently healthy (score >= MinScore).
+func (m *Monitor) CheckAll(probe func(*Server) bool) (healthy int) {
+	for _, s := range m.pool.Servers() {
+		m.Check(s.ID, probe(s))
+	}
+	for _, s := range m.pool.Servers() {
+		if s.Score >= MinScore {
+			healthy++
+		}
+	}
+	return healthy
+}

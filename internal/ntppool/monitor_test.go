@@ -1,0 +1,91 @@
+package ntppool
+
+import (
+	"testing"
+
+	"ntpscan/internal/rng"
+)
+
+func TestMonitorFailureDrainsTraffic(t *testing.T) {
+	p := New()
+	p.SetBackground("DE", 10)
+	p.AddServer(newServer("s1", "DE", 100))
+	m := NewMonitor(p)
+
+	// An outage spans several probe rounds; the score collapses.
+	var score float64
+	for i := 0; i < 3; i++ {
+		score = m.Check("s1", false)
+	}
+	if score >= MinScore {
+		t.Fatalf("score after outage = %v", score)
+	}
+	r := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		if _, ours := p.MapClient("DE", r); ours {
+			t.Fatal("failing server still mapped")
+		}
+	}
+
+	// Recovery is slow: it takes several good probes to serve again.
+	steps := 0
+	for {
+		steps++
+		if m.Check("s1", true) >= MinScore {
+			break
+		}
+		if steps > 10 {
+			t.Fatal("server never recovered")
+		}
+	}
+	if steps < 2 {
+		t.Fatalf("recovered after %d steps; failures should outweigh successes", steps)
+	}
+	mapped := false
+	for i := 0; i < 2000; i++ {
+		if _, ours := p.MapClient("DE", r); ours {
+			mapped = true
+			break
+		}
+	}
+	if !mapped {
+		t.Fatal("recovered server not mapped")
+	}
+}
+
+func TestMonitorScoreBounds(t *testing.T) {
+	p := New()
+	p.AddServer(newServer("s1", "DE", 1))
+	m := NewMonitor(p)
+	for i := 0; i < 50; i++ {
+		m.Check("s1", false)
+	}
+	s, _ := p.Server("s1")
+	if s.Score < m.MinFloor {
+		t.Fatalf("score %v below floor", s.Score)
+	}
+	for i := 0; i < 100; i++ {
+		m.Check("s1", true)
+	}
+	s, _ = p.Server("s1")
+	if s.Score > m.MaxScore {
+		t.Fatalf("score %v above cap", s.Score)
+	}
+}
+
+func TestMonitorCheckAll(t *testing.T) {
+	p := New()
+	p.AddServer(newServer("good", "DE", 1))
+	p.AddServer(newServer("bad", "DE", 1))
+	m := NewMonitor(p)
+	healthy := m.CheckAll(func(s *Server) bool { return s.ID == "good" })
+	if healthy != 1 {
+		t.Fatalf("healthy = %d", healthy)
+	}
+	if _, ok := p.Server("missing"); ok {
+		t.Fatal("phantom server")
+	}
+	if got := m.Check("missing", true); got != 0 {
+		t.Fatalf("Check on missing server = %v", got)
+	}
+}

@@ -1,0 +1,303 @@
+// Package amqpx implements the AMQP 0-9-1 connection negotiation the
+// paper's broker scans exercise: protocol header, Connection.Start /
+// Start-Ok with SASL PLAIN, and the accept (Tune) or refuse
+// (Close 403 ACCESS_REFUSED) outcomes that define the access-control
+// populations of Figure 3.
+//
+// Framing follows the AMQP 0-9-1 spec: 7-byte frame header (type,
+// channel, size), method payloads starting with class and method IDs,
+// and the 0xCE frame-end octet.
+package amqpx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// ProtocolHeader is the 8-byte preamble opening every AMQP 0-9-1
+// connection.
+var ProtocolHeader = []byte{'A', 'M', 'Q', 'P', 0, 0, 9, 1}
+
+// Frame types.
+const (
+	FrameMethod = 1
+	frameEnd    = 0xCE
+)
+
+// Connection class methods used in negotiation.
+const (
+	ClassConnection = 10
+
+	MethodStart   = 10
+	MethodStartOK = 11
+	MethodTune    = 30
+	MethodClose   = 50
+)
+
+// ReplyAccessRefused is the AMQP reply code for failed authentication.
+const ReplyAccessRefused = 403
+
+// Errors returned by the codec and scanner.
+var (
+	ErrNotAMQP    = errors.New("amqpx: peer does not speak AMQP 0-9-1")
+	ErrMalformed  = errors.New("amqpx: malformed frame")
+	maxFrameBytes = 128 << 10
+)
+
+// Frame is one raw AMQP frame.
+type Frame struct {
+	Type    byte
+	Channel uint16
+	Payload []byte
+}
+
+// WriteFrame serialises f to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	hdr := make([]byte, 7, 7+len(f.Payload)+1)
+	hdr[0] = f.Type
+	binary.BigEndian.PutUint16(hdr[1:], f.Channel)
+	binary.BigEndian.PutUint32(hdr[3:], uint32(len(f.Payload)))
+	out := append(hdr, f.Payload...)
+	out = append(out, frameEnd)
+	_, err := w.Write(out)
+	return err
+}
+
+// ReadFrame parses one frame from r, validating the end octet.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [7]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	f := Frame{Type: hdr[0], Channel: binary.BigEndian.Uint16(hdr[1:])}
+	size := binary.BigEndian.Uint32(hdr[3:])
+	if size > uint32(maxFrameBytes) {
+		return Frame{}, fmt.Errorf("%w: frame of %d bytes", ErrMalformed, size)
+	}
+	buf := make([]byte, size+1)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Frame{}, ErrMalformed
+	}
+	if buf[size] != frameEnd {
+		return Frame{}, fmt.Errorf("%w: missing frame end", ErrMalformed)
+	}
+	f.Payload = buf[:size]
+	return f, nil
+}
+
+// Method is a decoded method frame: class, method, and the argument
+// bytes that follow.
+type Method struct {
+	Class  uint16
+	Method uint16
+	Args   []byte
+}
+
+// DecodeMethod splits a method-frame payload.
+func DecodeMethod(payload []byte) (Method, error) {
+	if len(payload) < 4 {
+		return Method{}, ErrMalformed
+	}
+	return Method{
+		Class:  binary.BigEndian.Uint16(payload),
+		Method: binary.BigEndian.Uint16(payload[2:]),
+		Args:   payload[4:],
+	}, nil
+}
+
+// encodeMethod builds a method-frame payload.
+func encodeMethod(class, method uint16, args []byte) []byte {
+	out := make([]byte, 4, 4+len(args))
+	binary.BigEndian.PutUint16(out, class)
+	binary.BigEndian.PutUint16(out[2:], method)
+	return append(out, args...)
+}
+
+// Field encoders: the negotiation uses short strings, long strings, and
+// (empty) field tables.
+
+func appendShortStr(b []byte, s string) []byte {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	b = append(b, byte(len(s)))
+	return append(b, s...)
+}
+
+func appendLongStr(b []byte, s string) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(s)))
+	b = append(b, l[:]...)
+	return append(b, s...)
+}
+
+func readShortStr(b []byte) (string, []byte, error) {
+	if len(b) < 1 {
+		return "", nil, ErrMalformed
+	}
+	n := int(b[0])
+	b = b[1:]
+	if len(b) < n {
+		return "", nil, ErrMalformed
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+func readLongStr(b []byte) (string, []byte, error) {
+	if len(b) < 4 {
+		return "", nil, ErrMalformed
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if len(b) < n {
+		return "", nil, ErrMalformed
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// StartArgs are the Connection.Start arguments the scanner records.
+type StartArgs struct {
+	VersionMajor byte
+	VersionMinor byte
+	Mechanisms   string // space-separated SASL mechanisms
+	Locales      string
+	Product      string // from server-properties, when present
+}
+
+// encodeStart builds Connection.Start arguments. Server properties are
+// encoded as a field table holding a single longstr "product" entry when
+// product is non-empty.
+func encodeStart(product string) []byte {
+	args := []byte{0, 9} // version-major, version-minor
+	var table []byte
+	if product != "" {
+		table = appendShortStr(table, "product")
+		table = append(table, 'S')
+		table = appendLongStr(table, product)
+	}
+	var tl [4]byte
+	binary.BigEndian.PutUint32(tl[:], uint32(len(table)))
+	args = append(args, tl[:]...)
+	args = append(args, table...)
+	args = appendLongStr(args, "PLAIN AMQPLAIN")
+	args = appendLongStr(args, "en_US")
+	return args
+}
+
+// decodeStart parses Connection.Start arguments.
+func decodeStart(args []byte) (StartArgs, error) {
+	if len(args) < 2 {
+		return StartArgs{}, ErrMalformed
+	}
+	out := StartArgs{VersionMajor: args[0], VersionMinor: args[1]}
+	rest := args[2:]
+	// Server properties table.
+	if len(rest) < 4 {
+		return StartArgs{}, ErrMalformed
+	}
+	tlen := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) < tlen {
+		return StartArgs{}, ErrMalformed
+	}
+	table := rest[:tlen]
+	rest = rest[tlen:]
+	for len(table) > 0 {
+		var key string
+		var err error
+		key, table, err = readShortStr(table)
+		if err != nil || len(table) < 1 {
+			break
+		}
+		typ := table[0]
+		table = table[1:]
+		if typ != 'S' {
+			break // only longstr values are produced by our encoder
+		}
+		var val string
+		val, table, err = readLongStr(table)
+		if err != nil {
+			break
+		}
+		if key == "product" {
+			out.Product = val
+		}
+	}
+	var err error
+	if out.Mechanisms, rest, err = readLongStr(rest); err != nil {
+		return StartArgs{}, err
+	}
+	if out.Locales, _, err = readLongStr(rest); err != nil {
+		return StartArgs{}, err
+	}
+	return out, nil
+}
+
+// encodeStartOK builds Connection.Start-Ok arguments with SASL PLAIN
+// credentials.
+func encodeStartOK(user, pass string) []byte {
+	var args []byte
+	args = append(args, 0, 0, 0, 0) // empty client-properties table
+	args = appendShortStr(args, "PLAIN")
+	args = appendLongStr(args, "\x00"+user+"\x00"+pass)
+	args = appendShortStr(args, "en_US")
+	return args
+}
+
+// decodeStartOK extracts mechanism and PLAIN credentials.
+func decodeStartOK(args []byte) (mechanism, user, pass string, err error) {
+	if len(args) < 4 {
+		return "", "", "", ErrMalformed
+	}
+	tlen := int(binary.BigEndian.Uint32(args))
+	args = args[4:]
+	if len(args) < tlen {
+		return "", "", "", ErrMalformed
+	}
+	args = args[tlen:]
+	if mechanism, args, err = readShortStr(args); err != nil {
+		return "", "", "", err
+	}
+	var response string
+	if response, _, err = readLongStr(args); err != nil {
+		return "", "", "", err
+	}
+	if mechanism == "PLAIN" && len(response) > 0 && response[0] == 0 {
+		rest := response[1:]
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == 0 {
+				return mechanism, rest[:i], rest[i+1:], nil
+			}
+		}
+	}
+	return mechanism, "", "", nil
+}
+
+// encodeClose builds Connection.Close arguments.
+func encodeClose(code uint16, text string) []byte {
+	var args []byte
+	var c [2]byte
+	binary.BigEndian.PutUint16(c[:], code)
+	args = append(args, c[:]...)
+	args = appendShortStr(args, text)
+	args = append(args, 0, 0, 0, 0) // class-id, method-id of offending method
+	return args
+}
+
+// decodeClose extracts the reply code and text.
+func decodeClose(args []byte) (code uint16, text string, err error) {
+	if len(args) < 2 {
+		return 0, "", ErrMalformed
+	}
+	code = binary.BigEndian.Uint16(args)
+	text, _, err = readShortStr(args[2:])
+	return code, text, err
+}
+
+// writeMethod frames and writes one channel-0 method.
+func writeMethod(w net.Conn, class, method uint16, args []byte) error {
+	return WriteFrame(w, Frame{Type: FrameMethod, Channel: 0, Payload: encodeMethod(class, method, args)})
+}

@@ -1,0 +1,174 @@
+package amqpx
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ntpscan/internal/netsim"
+)
+
+func pair() (net.Conn, net.Conn) {
+	return netsim.NewConnPair(
+		netip.MustParseAddrPort("[2001:db8::1]:40000"),
+		netip.MustParseAddrPort("[2001:db8::2]:5672"))
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := func(typ byte, channel uint16, payload []byte) bool {
+		if typ == 0 {
+			typ = 1
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, Frame{Type: typ, Channel: channel, Payload: payload}); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		return err == nil && got.Type == typ && got.Channel == channel &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadFrameRejectsBadEnd(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Frame{Type: 1, Channel: 0, Payload: []byte{1, 2}})
+	raw := buf.Bytes()
+	raw[len(raw)-1] = 0x00 // corrupt frame end
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestReadFrameRejectsHuge(t *testing.T) {
+	hdr := []byte{1, 0, 0, 0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(hdr)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStartRoundTrip(t *testing.T) {
+	args := encodeStart("RabbitMQ")
+	got, err := decodeStart(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VersionMajor != 0 || got.VersionMinor != 9 {
+		t.Fatalf("version = %d.%d", got.VersionMajor, got.VersionMinor)
+	}
+	if got.Mechanisms != "PLAIN AMQPLAIN" || got.Product != "RabbitMQ" {
+		t.Fatalf("start = %+v", got)
+	}
+}
+
+func TestStartNoProduct(t *testing.T) {
+	got, err := decodeStart(encodeStart(""))
+	if err != nil || got.Product != "" {
+		t.Fatalf("start = %+v %v", got, err)
+	}
+}
+
+func TestStartOKRoundTrip(t *testing.T) {
+	mech, user, pass, err := decodeStartOK(encodeStartOK("guest", "s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mech != "PLAIN" || user != "guest" || pass != "s3cret" {
+		t.Fatalf("decoded %q %q %q", mech, user, pass)
+	}
+}
+
+func TestCloseRoundTrip(t *testing.T) {
+	code, text, err := decodeClose(encodeClose(403, "ACCESS_REFUSED"))
+	if err != nil || code != 403 || text != "ACCESS_REFUSED" {
+		t.Fatalf("close = %d %q %v", code, text, err)
+	}
+}
+
+func TestDecodeMethodShort(t *testing.T) {
+	if _, err := DecodeMethod([]byte{0, 10}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func scanBroker(t *testing.T, opts BrokerOptions) *ScanResult {
+	t.Helper()
+	c, s := pair()
+	defer c.Close()
+	go ServeConn(s, opts)
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	res, err := Scan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScanOpenBroker(t *testing.T) {
+	res := scanBroker(t, BrokerOptions{Product: "RabbitMQ"})
+	if !res.Open {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.Start.Product != "RabbitMQ" {
+		t.Fatalf("product = %q", res.Start.Product)
+	}
+}
+
+func TestScanAuthBroker(t *testing.T) {
+	res := scanBroker(t, BrokerOptions{
+		RequireAuth: true,
+		Credentials: map[string]string{"admin": "strongpass"},
+	})
+	if res.Open {
+		t.Fatal("auth broker reported open")
+	}
+	if res.CloseCode != ReplyAccessRefused {
+		t.Fatalf("close code = %d", res.CloseCode)
+	}
+}
+
+func TestBrokerAcceptsDefaultGuestWhenConfigured(t *testing.T) {
+	res := scanBroker(t, BrokerOptions{
+		RequireAuth: true,
+		Credentials: map[string]string{"guest": "guest"},
+	})
+	// guest/guest configured: the scanner's default credentials work,
+	// which the methodology counts as no effective access control.
+	if !res.Open {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestBrokerRejectsWrongHeader(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	go ServeConn(s, BrokerOptions{})
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Write([]byte("HTTP/1.1 ")) // 8 bytes, wrong magic
+	buf := make([]byte, 8)
+	n, _ := c.Read(buf)
+	if !bytes.Equal(buf[:n], ProtocolHeader) {
+		t.Fatalf("server answered %q, want its protocol header", buf[:n])
+	}
+}
+
+func TestScanNonAMQPServer(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	go func() {
+		buf := make([]byte, 16)
+		s.Read(buf)
+		s.Write([]byte("220 smtp ready\r\n"))
+		s.Close()
+	}()
+	c.SetDeadline(time.Now().Add(time.Second))
+	if _, err := Scan(c); err == nil {
+		t.Fatal("non-AMQP peer accepted")
+	}
+}

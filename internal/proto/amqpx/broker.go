@@ -1,0 +1,126 @@
+package amqpx
+
+import (
+	"bytes"
+	"io"
+	"net"
+)
+
+// BrokerOptions configures a simulated AMQP broker.
+type BrokerOptions struct {
+	// Product is advertised in server-properties ("RabbitMQ" etc.).
+	Product string
+	// RequireAuth refuses unknown credentials with Close 403. Brokers
+	// without access control accept any PLAIN response (RabbitMQ with
+	// default guest/guest open to the world behaves this way for the
+	// scanner's purposes).
+	RequireAuth bool
+	// Credentials lists accepted username→password pairs when
+	// RequireAuth is set.
+	Credentials map[string]string
+}
+
+// ServeConn negotiates one client connection per policy and closes it.
+func ServeConn(conn net.Conn, opts BrokerOptions) {
+	defer conn.Close()
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		return
+	}
+	if !bytes.Equal(hdr, ProtocolHeader) {
+		// Spec: a server receiving an unsupported header writes the
+		// header it wants and closes.
+		conn.Write(ProtocolHeader)
+		return
+	}
+	if err := writeMethod(conn, ClassConnection, MethodStart, encodeStart(opts.Product)); err != nil {
+		return
+	}
+	f, err := ReadFrame(conn)
+	if err != nil || f.Type != FrameMethod {
+		return
+	}
+	m, err := DecodeMethod(f.Payload)
+	if err != nil || m.Class != ClassConnection || m.Method != MethodStartOK {
+		return
+	}
+	_, user, pass, err := decodeStartOK(m.Args)
+	if err != nil {
+		return
+	}
+	if opts.RequireAuth {
+		if want, ok := opts.Credentials[user]; !ok || want != pass {
+			writeMethod(conn, ClassConnection, MethodClose,
+				encodeClose(ReplyAccessRefused, "ACCESS_REFUSED - Login was refused"))
+			return
+		}
+	}
+	// Accept: Connection.Tune(channel-max 2047, frame-max 128k,
+	// heartbeat 60).
+	tune := []byte{
+		0x07, 0xff, // channel-max
+		0x00, 0x02, 0x00, 0x00, // frame-max
+		0x00, 0x3c, // heartbeat
+	}
+	writeMethod(conn, ClassConnection, MethodTune, tune)
+}
+
+// Handler returns a netsim-compatible stream handler for the broker.
+func Handler(opts BrokerOptions) func(net.Conn) {
+	return func(conn net.Conn) { ServeConn(conn, opts) }
+}
+
+// ScanResult is the outcome of one AMQP grab.
+type ScanResult struct {
+	// Start carries the server's advertised version/mechanisms/product.
+	Start StartArgs
+	// Open reports whether the probe credentials were accepted (the
+	// broker enforces no effective access control).
+	Open bool
+	// CloseCode is the reply code when the broker refused (403).
+	CloseCode uint16
+}
+
+// Scan negotiates as a client using probe credentials (guest/guest, the
+// RabbitMQ default the paper's methodology relies on). The caller owns
+// conn and deadlines.
+func Scan(conn net.Conn) (*ScanResult, error) {
+	if _, err := conn.Write(ProtocolHeader); err != nil {
+		return nil, err
+	}
+	f, err := ReadFrame(conn)
+	if err != nil {
+		return nil, ErrNotAMQP
+	}
+	m, err := DecodeMethod(f.Payload)
+	if err != nil || m.Class != ClassConnection || m.Method != MethodStart {
+		return nil, ErrNotAMQP
+	}
+	start, err := decodeStart(m.Args)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScanResult{Start: start}
+
+	if err := writeMethod(conn, ClassConnection, MethodStartOK, encodeStartOK("guest", "guest")); err != nil {
+		return res, nil
+	}
+	f, err = ReadFrame(conn)
+	if err != nil {
+		return res, nil // Start grabbed; refusal by disconnect
+	}
+	m, err = DecodeMethod(f.Payload)
+	if err != nil || m.Class != ClassConnection {
+		return res, nil
+	}
+	switch m.Method {
+	case MethodTune:
+		res.Open = true
+	case MethodClose:
+		code, _, err := decodeClose(m.Args)
+		if err == nil {
+			res.CloseCode = code
+		}
+	}
+	return res, nil
+}

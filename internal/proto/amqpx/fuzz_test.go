@@ -1,0 +1,36 @@
+package amqpx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame hardens the frame parser.
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, Frame{Type: FrameMethod, Channel: 0, Payload: encodeMethod(ClassConnection, MethodStart, encodeStart("RabbitMQ"))})
+	f.Add(buf.Bytes())
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0xCE})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, fr); err != nil {
+			t.Fatalf("re-write failed: %v", err)
+		}
+		back, err := ReadFrame(&out)
+		if err != nil || back.Type != fr.Type || back.Channel != fr.Channel ||
+			!bytes.Equal(back.Payload, fr.Payload) {
+			t.Fatalf("round trip changed frame: %v", err)
+		}
+		if m, err := DecodeMethod(fr.Payload); err == nil && m.Class == ClassConnection {
+			// The negotiation decoders must not panic on any payload.
+			decodeStart(m.Args)
+			decodeStartOK(m.Args)
+			decodeClose(m.Args)
+		}
+	})
+}

@@ -1,0 +1,265 @@
+// Package coapx implements the CoAP (RFC 7252) subset the paper's UDP
+// IoT scans use: the binary message codec, GET requests, and
+// /.well-known/core resource discovery with CoRE link-format (RFC 6690)
+// parsing. Resource prefixes from discovery drive the paper's Table 3
+// CoAP device-type grouping (/castDeviceSearch, /qlink/*, ...).
+package coapx
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Port is the IANA-assigned CoAP UDP port.
+const Port = 5683
+
+// Type is the 2-bit message type.
+type Type uint8
+
+// Message types.
+const (
+	Confirmable Type = iota
+	NonConfirmable
+	Acknowledgement
+	Reset
+)
+
+// Code is the 8-bit request/response code (class.detail).
+type Code uint8
+
+// Codes used by the scan.
+const (
+	CodeEmpty    Code = 0x00
+	CodeGET      Code = 0x01 // 0.01
+	CodeContent  Code = 0x45 // 2.05
+	CodeNotFound Code = 0x84 // 4.04
+)
+
+// String renders class.detail form ("2.05").
+func (c Code) String() string {
+	return fmt.Sprintf("%d.%02d", c>>5, c&0x1f)
+}
+
+// Option numbers used by the scan.
+const (
+	OptionUriPath       = 11
+	OptionContentFormat = 12
+)
+
+// ContentFormatLinkFormat is the CoRE link-format media type id.
+const ContentFormatLinkFormat = 40
+
+// Option is one CoAP option.
+type Option struct {
+	Number uint16
+	Value  []byte
+}
+
+// Message is a CoAP message.
+type Message struct {
+	Type      Type
+	Code      Code
+	MessageID uint16
+	Token     []byte // 0..8 bytes
+	Options   []Option
+	Payload   []byte
+}
+
+// Errors returned by the codec.
+var (
+	ErrMalformed  = errors.New("coapx: malformed message")
+	ErrBadVersion = errors.New("coapx: unsupported version")
+)
+
+// Marshal serialises the message. Options are sorted by number as the
+// delta encoding requires.
+func (m *Message) Marshal() ([]byte, error) {
+	if len(m.Token) > 8 {
+		return nil, fmt.Errorf("%w: token of %d bytes", ErrMalformed, len(m.Token))
+	}
+	b := make([]byte, 4, 16+len(m.Payload))
+	b[0] = 1<<6 | byte(m.Type)<<4 | byte(len(m.Token))
+	b[1] = byte(m.Code)
+	b[2] = byte(m.MessageID >> 8)
+	b[3] = byte(m.MessageID)
+	b = append(b, m.Token...)
+
+	opts := make([]Option, len(m.Options))
+	copy(opts, m.Options)
+	sort.SliceStable(opts, func(i, j int) bool { return opts[i].Number < opts[j].Number })
+	prev := uint16(0)
+	for _, o := range opts {
+		if o.Number < prev {
+			return nil, fmt.Errorf("%w: option order", ErrMalformed)
+		}
+		delta := o.Number - prev
+		prev = o.Number
+		b = appendOptionHeader(b, delta, len(o.Value))
+		b = append(b, o.Value...)
+	}
+	if len(m.Payload) > 0 {
+		b = append(b, 0xff)
+		b = append(b, m.Payload...)
+	}
+	return b, nil
+}
+
+// appendOptionHeader encodes delta/length nibbles with 13/14 extensions.
+func appendOptionHeader(b []byte, delta uint16, length int) []byte {
+	dn, dext := nibble(int(delta))
+	ln, lext := nibble(length)
+	b = append(b, byte(dn)<<4|byte(ln))
+	b = append(b, dext...)
+	return append(b, lext...)
+}
+
+// nibble returns the 4-bit field value and extension bytes for v.
+func nibble(v int) (int, []byte) {
+	switch {
+	case v < 13:
+		return v, nil
+	case v < 269:
+		return 13, []byte{byte(v - 13)}
+	default:
+		e := v - 269
+		return 14, []byte{byte(e >> 8), byte(e)}
+	}
+}
+
+// Parse decodes a CoAP message.
+func Parse(b []byte) (*Message, error) {
+	if len(b) < 4 {
+		return nil, ErrMalformed
+	}
+	if b[0]>>6 != 1 {
+		return nil, ErrBadVersion
+	}
+	m := &Message{
+		Type:      Type(b[0] >> 4 & 0x3),
+		Code:      Code(b[1]),
+		MessageID: uint16(b[2])<<8 | uint16(b[3]),
+	}
+	tkl := int(b[0] & 0x0f)
+	if tkl > 8 {
+		return nil, ErrMalformed
+	}
+	b = b[4:]
+	if len(b) < tkl {
+		return nil, ErrMalformed
+	}
+	m.Token = append([]byte(nil), b[:tkl]...)
+	b = b[tkl:]
+
+	num := 0
+	for len(b) > 0 {
+		if b[0] == 0xff {
+			if len(b) == 1 {
+				return nil, fmt.Errorf("%w: empty payload after marker", ErrMalformed)
+			}
+			m.Payload = append([]byte(nil), b[1:]...)
+			return m, nil
+		}
+		dn := int(b[0] >> 4)
+		ln := int(b[0] & 0x0f)
+		b = b[1:]
+		var err error
+		var delta, length int
+		if delta, b, err = readExt(dn, b); err != nil {
+			return nil, err
+		}
+		if length, b, err = readExt(ln, b); err != nil {
+			return nil, err
+		}
+		if len(b) < length {
+			return nil, ErrMalformed
+		}
+		num += delta
+		if num > 0xffff {
+			// Accumulated option numbers beyond 16 bits would wrap and
+			// break the ascending-order invariant.
+			return nil, fmt.Errorf("%w: option number overflow", ErrMalformed)
+		}
+		m.Options = append(m.Options, Option{Number: uint16(num), Value: append([]byte(nil), b[:length]...)})
+		b = b[length:]
+	}
+	return m, nil
+}
+
+func readExt(n int, b []byte) (int, []byte, error) {
+	switch n {
+	case 13:
+		if len(b) < 1 {
+			return 0, nil, ErrMalformed
+		}
+		return int(b[0]) + 13, b[1:], nil
+	case 14:
+		if len(b) < 2 {
+			return 0, nil, ErrMalformed
+		}
+		return int(b[0])<<8 + int(b[1]) + 269, b[2:], nil
+	case 15:
+		return 0, nil, fmt.Errorf("%w: reserved option nibble", ErrMalformed)
+	default:
+		return n, b, nil
+	}
+}
+
+// NewGet builds a confirmable GET for the given path ("/a/b" becomes two
+// Uri-Path options).
+func NewGet(path string, messageID uint16, token []byte) *Message {
+	m := &Message{
+		Type:      Confirmable,
+		Code:      CodeGET,
+		MessageID: messageID,
+		Token:     token,
+	}
+	for _, seg := range strings.Split(strings.Trim(path, "/"), "/") {
+		if seg != "" {
+			m.Options = append(m.Options, Option{Number: OptionUriPath, Value: []byte(seg)})
+		}
+	}
+	return m
+}
+
+// Path reassembles the Uri-Path options into "/a/b". The root path
+// (no options) is "/".
+func (m *Message) Path() string {
+	var segs []string
+	for _, o := range m.Options {
+		if o.Number == OptionUriPath {
+			segs = append(segs, string(o.Value))
+		}
+	}
+	return "/" + strings.Join(segs, "/")
+}
+
+// EncodeLinkFormat renders resource paths as a CoRE link-format document:
+// "</a>,</b/c>".
+func EncodeLinkFormat(paths []string) string {
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		if !strings.HasPrefix(p, "/") {
+			p = "/" + p
+		}
+		out[i] = "<" + p + ">"
+	}
+	return strings.Join(out, ",")
+}
+
+// ParseLinkFormat extracts the resource paths from a link-format
+// document, ignoring attributes.
+func ParseLinkFormat(doc string) []string {
+	var out []string
+	for _, part := range strings.Split(doc, ",") {
+		part = strings.TrimSpace(part)
+		start := strings.IndexByte(part, '<')
+		end := strings.IndexByte(part, '>')
+		if start < 0 || end < 0 || end <= start+1 {
+			continue
+		}
+		out = append(out, part[start+1:end])
+	}
+	return out
+}

@@ -1,0 +1,23 @@
+package coapx_test
+
+import (
+	"fmt"
+
+	"ntpscan/internal/proto/coapx"
+)
+
+func ExampleParseLinkFormat() {
+	doc := `</castDeviceSearch>;rt="cast", </qlink/sta>;ct=40`
+	fmt.Println(coapx.ParseLinkFormat(doc))
+	// Output:
+	// [/castDeviceSearch /qlink/sta]
+}
+
+func ExampleNewGet() {
+	msg := coapx.NewGet("/.well-known/core", 0x1234, []byte{1, 2})
+	enc, _ := msg.Marshal()
+	back, _ := coapx.Parse(enc)
+	fmt.Println(back.Path(), back.Code)
+	// Output:
+	// /.well-known/core 0.01
+}

@@ -1,0 +1,52 @@
+package coapx
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse hardens the CoAP parser: scan responses arrive from
+// arbitrary Internet hosts.
+func FuzzParse(f *testing.F) {
+	seed, _ := NewGet("/.well-known/core", 0x1234, []byte{1, 2}).Marshal()
+	f.Add(seed)
+	resp, _ := (&Message{Type: Acknowledgement, Code: CodeContent, MessageID: 9,
+		Payload: []byte("</a>,</b>")}).Marshal()
+	f.Add(resp)
+	f.Add([]byte{0x40, 0x01, 0x00, 0x01})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Parse(data)
+		if err != nil {
+			return
+		}
+		enc, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("accepted message does not re-marshal: %v", err)
+		}
+		back, err := Parse(enc)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if back.Code != m.Code || back.MessageID != m.MessageID ||
+			string(back.Token) != string(m.Token) ||
+			string(back.Payload) != string(m.Payload) ||
+			!reflect.DeepEqual(back.Options, m.Options) {
+			t.Fatalf("round trip changed message:\n%+v\n%+v", m, back)
+		}
+	})
+}
+
+// FuzzParseLinkFormat must never panic on arbitrary documents.
+func FuzzParseLinkFormat(f *testing.F) {
+	f.Add("</a>;rt=x,</b>")
+	f.Add("<<<>>>,,,;;;")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, doc string) {
+		for _, p := range ParseLinkFormat(doc) {
+			if p == "" {
+				t.Fatal("empty path extracted")
+			}
+		}
+	})
+}

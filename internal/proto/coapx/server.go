@@ -1,0 +1,126 @@
+package coapx
+
+import (
+	"net/netip"
+	"time"
+
+	"ntpscan/internal/netsim"
+)
+
+// DeviceOptions describes a simulated CoAP endpoint.
+type DeviceOptions struct {
+	// Resources are the paths advertised via /.well-known/core
+	// (e.g. "/castDeviceSearch", "/qlink/config"). An empty list still
+	// answers discovery with an empty document — the "empty" group of
+	// Table 3.
+	Resources []string
+}
+
+// Handler returns a netsim UDP packet handler implementing the device.
+func Handler(opts DeviceOptions) func(netip.AddrPort, []byte) [][]byte {
+	return func(from netip.AddrPort, payload []byte) [][]byte {
+		req, err := Parse(payload)
+		if err != nil || req.Code != CodeGET {
+			return nil
+		}
+		resp := Respond(req, opts)
+		enc, err := resp.Marshal()
+		if err != nil {
+			return nil
+		}
+		return [][]byte{enc}
+	}
+}
+
+// Respond computes the device's answer to a GET.
+func Respond(req *Message, opts DeviceOptions) *Message {
+	resp := &Message{
+		Type:      Acknowledgement,
+		MessageID: req.MessageID,
+		Token:     req.Token,
+	}
+	switch path := req.Path(); path {
+	case "/.well-known/core":
+		resp.Code = CodeContent
+		resp.Options = []Option{{
+			Number: OptionContentFormat,
+			Value:  []byte{ContentFormatLinkFormat},
+		}}
+		resp.Payload = []byte(EncodeLinkFormat(opts.Resources))
+	default:
+		for _, r := range opts.Resources {
+			if r == path {
+				resp.Code = CodeContent
+				resp.Payload = []byte("{}")
+				return resp
+			}
+		}
+		resp.Code = CodeNotFound
+	}
+	return resp
+}
+
+// ScanResult is the outcome of one CoAP discovery probe.
+type ScanResult struct {
+	Code      Code
+	Resources []string // parsed from link-format on 2.05
+}
+
+// PacketSocket is the datagram surface ScanConn needs. netsim's UDPConn
+// satisfies it directly; real net.PacketConn sockets satisfy it through
+// a thin adapter (see zgrab's RealNet).
+type PacketSocket interface {
+	WriteTo(p []byte, dst netip.AddrPort) (int, error)
+	ReadFrom(p []byte) (int, netip.AddrPort, error)
+	SetReadDeadline(t time.Time) error
+	Close() error
+}
+
+// ScanConn sends GET /.well-known/core over an already-bound socket and
+// parses the reply. messageID seeds the request identifiers; the
+// response must echo the derived token. The caller keeps ownership of
+// sock.
+func ScanConn(sock PacketSocket, dst netip.AddrPort, messageID uint16, timeout time.Duration) (*ScanResult, error) {
+	token := []byte{byte(messageID >> 8), byte(messageID), 0x5c, 0x0a}
+	req := NewGet("/.well-known/core", messageID, token)
+	enc, err := req.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sock.WriteTo(enc, dst); err != nil {
+		return nil, err
+	}
+	sock.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, 2048)
+	for {
+		n, from, err := sock.ReadFrom(buf)
+		if err != nil {
+			return nil, err
+		}
+		if from != dst {
+			continue
+		}
+		resp, err := Parse(buf[:n])
+		if err != nil {
+			return nil, err
+		}
+		if string(resp.Token) != string(token) {
+			continue // stale or spoofed reply
+		}
+		res := &ScanResult{Code: resp.Code}
+		if resp.Code == CodeContent {
+			res.Resources = ParseLinkFormat(string(resp.Payload))
+		}
+		return res, nil
+	}
+}
+
+// Scan is ScanConn over a fresh fabric socket bound at src.
+func Scan(fabric *netsim.Network, src netip.AddrPort, dst netip.AddrPort, messageID uint16, timeout time.Duration) (*ScanResult, error) {
+	conn, err := fabric.ListenUDP(src)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return ScanConn(conn, dst, messageID, timeout)
+}

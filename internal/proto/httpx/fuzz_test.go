@@ -1,0 +1,42 @@
+package httpx
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// FuzzReadResponse hardens the HTTP response parser against arbitrary
+// servers.
+func FuzzReadResponse(f *testing.F) {
+	f.Add("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello")
+	f.Add("HTTP/1.0 404 Not Found\r\n\r\n")
+	f.Add("garbage")
+	f.Add("HTTP/1.1 200 OK\r\nContent-Length: 999999999999\r\n\r\nx")
+	f.Fuzz(func(t *testing.T, raw string) {
+		resp, err := ReadResponse(bufio.NewReader(strings.NewReader(raw)))
+		if err != nil {
+			return
+		}
+		if resp.StatusCode < 100 || resp.StatusCode > 599 {
+			t.Fatalf("accepted status %d", resp.StatusCode)
+		}
+		if len(resp.Body) > maxBodyBytes {
+			t.Fatalf("body of %d bytes exceeds cap", len(resp.Body))
+		}
+		_ = resp.Title()
+	})
+}
+
+// FuzzExtractTitle must never panic and always return collapsed text.
+func FuzzExtractTitle(f *testing.F) {
+	f.Add("<title>ok</title>")
+	f.Add("<TITLE foo=bar>x</TITLE>")
+	f.Add("<title><title></title>")
+	f.Fuzz(func(t *testing.T, doc string) {
+		title := ExtractTitle(doc)
+		if strings.ContainsAny(title, "\n\t\r") {
+			t.Fatalf("title not collapsed: %q", title)
+		}
+	})
+}

@@ -1,0 +1,203 @@
+// Package httpx implements the minimal HTTP/1.1 client and server the
+// scan pipeline uses. The client issues one GET and parses the response
+// (status, headers, body, HTML title); the server renders device web
+// interfaces from a small template model.
+//
+// Both ends speak real HTTP/1.1 over any net.Conn — plain TCP, the
+// netsim fabric, tlsx, or stdlib crypto/tls — so the scanner code is the
+// same for HTTP and HTTPS and for simulation and real sockets.
+package httpx
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// maxBodyBytes bounds how much of a response body the client retains,
+// like zgrab2's body truncation. Titles live in the first kilobytes.
+const maxBodyBytes = 64 << 10
+
+// maxHeaderBytes bounds the header section to keep malicious or broken
+// servers from ballooning memory.
+const maxHeaderBytes = 32 << 10
+
+// Response is a parsed HTTP response.
+type Response struct {
+	Proto      string // e.g. "HTTP/1.1"
+	StatusCode int
+	Status     string            // e.g. "200 OK"
+	Header     map[string]string // canonicalised field names, last wins
+	Body       []byte            // up to maxBodyBytes
+}
+
+// Errors returned by the client.
+var (
+	ErrMalformedResponse = errors.New("httpx: malformed response")
+)
+
+// Get writes a GET request for path with the given Host header (empty
+// means the header is omitted — the address-literal probing mode of mass
+// scans) and parses the response. The caller owns conn and its deadlines.
+func Get(conn net.Conn, host, path string) (*Response, error) {
+	if path == "" {
+		path = "/"
+	}
+	var req strings.Builder
+	fmt.Fprintf(&req, "GET %s HTTP/1.1\r\n", path)
+	if host != "" {
+		fmt.Fprintf(&req, "Host: %s\r\n", host)
+	}
+	req.WriteString("User-Agent: ntpscan-research-scanner/1.0 (+https://example.edu/scan)\r\n")
+	req.WriteString("Accept: */*\r\n")
+	req.WriteString("Connection: close\r\n\r\n")
+	if _, err := io.WriteString(conn, req.String()); err != nil {
+		return nil, err
+	}
+	return ReadResponse(bufio.NewReader(io.LimitReader(conn, maxHeaderBytes+maxBodyBytes+4096)))
+}
+
+// ReadResponse parses an HTTP/1.x response from r.
+func ReadResponse(r *bufio.Reader) (*Response, error) {
+	line, err := readLine(r)
+	if err != nil {
+		return nil, err
+	}
+	proto, rest, ok := strings.Cut(line, " ")
+	if !ok || !strings.HasPrefix(proto, "HTTP/") {
+		return nil, ErrMalformedResponse
+	}
+	codeStr, _, _ := strings.Cut(rest, " ")
+	code, err := strconv.Atoi(codeStr)
+	if err != nil || code < 100 || code > 599 {
+		return nil, ErrMalformedResponse
+	}
+	resp := &Response{
+		Proto:      proto,
+		StatusCode: code,
+		Status:     rest,
+		Header:     make(map[string]string),
+	}
+	total := 0
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return nil, err
+		}
+		if line == "" {
+			break
+		}
+		total += len(line)
+		if total > maxHeaderBytes {
+			return nil, ErrMalformedResponse
+		}
+		name, value, ok := strings.Cut(line, ":")
+		if !ok {
+			continue // tolerate junk header lines
+		}
+		resp.Header[canonical(name)] = strings.TrimSpace(value)
+	}
+
+	// Body: honour Content-Length when present, otherwise read to EOF
+	// (Connection: close semantics). Chunked encoding is not emitted by
+	// our servers and therefore not implemented; a chunked body is
+	// retained raw.
+	limit := int64(maxBodyBytes)
+	if cl, ok := resp.Header["Content-Length"]; ok {
+		if n, err := strconv.ParseInt(cl, 10, 64); err == nil && n >= 0 && n < limit {
+			limit = n
+		}
+	}
+	body, err := io.ReadAll(io.LimitReader(r, limit))
+	if err != nil && !errors.Is(err, io.EOF) {
+		return nil, err
+	}
+	resp.Body = body
+	return resp, nil
+}
+
+func readLine(r *bufio.Reader) (string, error) {
+	line, err := r.ReadString('\n')
+	if err != nil {
+		if errors.Is(err, io.EOF) && line != "" {
+			// Tolerate a final unterminated line.
+			return strings.TrimRight(line, "\r\n"), nil
+		}
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// canonical normalises a header field name (Content-Length style).
+func canonical(name string) string {
+	name = strings.TrimSpace(name)
+	parts := strings.Split(name, "-")
+	for i, p := range parts {
+		if p == "" {
+			continue
+		}
+		parts[i] = strings.ToUpper(p[:1]) + strings.ToLower(p[1:])
+	}
+	return strings.Join(parts, "-")
+}
+
+// Title extracts the contents of the first <title> element from the
+// response body, whitespace-collapsed. It returns "" when no title is
+// present — the "(no title present)" group of Table 3.
+func (r *Response) Title() string {
+	return ExtractTitle(string(r.Body))
+}
+
+// ExtractTitle finds the first <title>...</title> in doc,
+// case-insensitively, and returns its collapsed text content.
+//
+// Matching uses ASCII case folding on the raw bytes: strings.ToLower can
+// change the byte length of non-ASCII input, which would desynchronise
+// offsets from the original document (found by fuzzing; scan targets
+// serve arbitrary bytes).
+func ExtractTitle(doc string) string {
+	start := asciiIndexFold(doc, "<title")
+	if start < 0 {
+		return ""
+	}
+	// Skip to the end of the opening tag (it may carry attributes).
+	openEnd := strings.IndexByte(doc[start:], '>')
+	if openEnd < 0 {
+		return ""
+	}
+	contentStart := start + openEnd + 1
+	end := asciiIndexFold(doc[contentStart:], "</title")
+	if end < 0 {
+		return ""
+	}
+	return strings.Join(strings.Fields(doc[contentStart:contentStart+end]), " ")
+}
+
+// asciiIndexFold returns the first index of sub in s, comparing bytes
+// with ASCII case folding. sub must be lowercase ASCII.
+func asciiIndexFold(s, sub string) int {
+	if len(sub) == 0 {
+		return 0
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		match := true
+		for j := 0; j < len(sub); j++ {
+			c := s[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != sub[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,135 @@
+package httpx
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+)
+
+// ServerOptions describes the web interface a simulated device presents.
+type ServerOptions struct {
+	// Title is the HTML page title (device model pages, default pages,
+	// hosting placeholders). Empty renders a titleless page.
+	Title string
+	// StatusCode defaults to 200.
+	StatusCode int
+	// ServerHeader is the Server: response header value.
+	ServerHeader string
+	// Body overrides the generated HTML page entirely when non-empty.
+	Body string
+	// RequireHost makes the server answer 404 with a provider error
+	// page when the request carries no Host header (virtual-hosting
+	// front ends; the "(IP) was not found" group of Table 3).
+	RequireHost bool
+	// HostErrorTitle is the title of the RequireHost error page.
+	HostErrorTitle string
+}
+
+// statusText covers the codes the simulation emits.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 301:
+		return "Moved Permanently"
+	case 302:
+		return "Found"
+	case 401:
+		return "Unauthorized"
+	case 403:
+		return "Forbidden"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Unknown"
+	}
+}
+
+// renderPage builds a minimal HTML document with the given title.
+func renderPage(title string) string {
+	if title == "" {
+		return "<html><head></head><body></body></html>\n"
+	}
+	return fmt.Sprintf("<html><head><title>%s</title></head><body><h1>%s</h1></body></html>\n", title, title)
+}
+
+// ServeConn handles exactly one request on conn and closes it,
+// Connection: close style. Malformed requests get a 400.
+func ServeConn(conn net.Conn, opts ServerOptions) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	reqLine, err := readLine(br)
+	if err != nil {
+		return
+	}
+	parts := strings.SplitN(reqLine, " ", 3)
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		writeResponse(conn, 400, "", "", "<html><body>Bad Request</body></html>\n")
+		return
+	}
+	method := parts[0]
+
+	// Drain headers, remembering Host.
+	host := ""
+	for {
+		line, err := readLine(br)
+		if err != nil || line == "" {
+			break
+		}
+		if name, value, ok := strings.Cut(line, ":"); ok && canonical(name) == "Host" {
+			host = strings.TrimSpace(value)
+		}
+	}
+
+	if method != "GET" && method != "HEAD" {
+		writeResponse(conn, 400, opts.ServerHeader, "", "<html><body>Bad Request</body></html>\n")
+		return
+	}
+	if opts.RequireHost && host == "" {
+		title := opts.HostErrorTitle
+		if title == "" {
+			title = "Unknown Domain"
+		}
+		writeResponse(conn, 404, opts.ServerHeader, "", renderPage(title))
+		return
+	}
+
+	code := opts.StatusCode
+	if code == 0 {
+		code = 200
+	}
+	body := opts.Body
+	if body == "" {
+		body = renderPage(opts.Title)
+	}
+	if method == "HEAD" {
+		body = ""
+	}
+	writeResponse(conn, code, opts.ServerHeader, "", body)
+}
+
+func writeResponse(conn net.Conn, code int, serverHeader, contentType, body string) {
+	if contentType == "" {
+		contentType = "text/html; charset=utf-8"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", code, statusText(code))
+	if serverHeader != "" {
+		fmt.Fprintf(&b, "Server: %s\r\n", serverHeader)
+	}
+	fmt.Fprintf(&b, "Content-Type: %s\r\n", contentType)
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
+	b.WriteString("Connection: close\r\n\r\n")
+	b.WriteString(body)
+	conn.Write([]byte(b.String()))
+}
+
+// Handler returns a netsim-compatible stream handler serving opts.
+func Handler(opts ServerOptions) func(net.Conn) {
+	return func(conn net.Conn) { ServeConn(conn, opts) }
+}

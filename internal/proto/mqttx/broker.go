@@ -1,0 +1,88 @@
+package mqttx
+
+import (
+	"net"
+)
+
+// BrokerOptions configures a simulated MQTT broker's connection policy.
+type BrokerOptions struct {
+	// RequireAuth refuses anonymous CONNECTs with return code 5 — the
+	// "access control enabled" population of the paper's Figure 3.
+	RequireAuth bool
+	// Credentials, when RequireAuth is set, lists accepted
+	// username→password pairs. An empty map accepts no one (the scan
+	// still observes "auth required", which is all Figure 3 needs).
+	Credentials map[string]string
+}
+
+// ServeConn handles one client connection: read CONNECT, answer CONNACK
+// per policy, then close (the scanner disconnects after CONNACK anyway).
+func ServeConn(conn net.Conn, opts BrokerOptions) {
+	defer conn.Close()
+	typ, _, body, err := ReadPacket(conn)
+	if err != nil || typ != TypeConnect {
+		return
+	}
+	connect, err := DecodeConnect(body)
+	if err != nil {
+		return
+	}
+	if connect.ProtoLevel != 4 || connect.ProtoName != "MQTT" {
+		conn.Write(EncodeConnack(false, CodeUnacceptableProto))
+		return
+	}
+	if opts.RequireAuth {
+		if !connect.HasAuth {
+			conn.Write(EncodeConnack(false, CodeNotAuthorized))
+			return
+		}
+		if pw, ok := opts.Credentials[connect.Username]; !ok || pw != connect.Password {
+			conn.Write(EncodeConnack(false, CodeBadCredentials))
+			return
+		}
+	}
+	conn.Write(EncodeConnack(false, CodeAccepted))
+}
+
+// Handler returns a netsim-compatible stream handler for the broker.
+func Handler(opts BrokerOptions) func(net.Conn) {
+	return func(conn net.Conn) { ServeConn(conn, opts) }
+}
+
+// ScanResult is the outcome of one MQTT grab.
+type ScanResult struct {
+	// Connected is true when the broker spoke valid MQTT at all.
+	Connected bool
+	// ReturnCode is the CONNACK return code.
+	ReturnCode byte
+	// Open means an anonymous session was accepted: no access control.
+	Open bool
+}
+
+// Scan attempts an anonymous MQTT 3.1.1 session on conn. The caller owns
+// conn and deadlines.
+func Scan(conn net.Conn) (*ScanResult, error) {
+	req := &ConnectPacket{
+		ProtoName:  "MQTT",
+		ProtoLevel: 4,
+		CleanStart: true,
+		KeepAlive:  30,
+		ClientID:   "ntpscan-probe",
+	}
+	if _, err := conn.Write(EncodeConnect(req)); err != nil {
+		return nil, err
+	}
+	typ, _, body, err := ReadPacket(conn)
+	if err != nil {
+		return nil, ErrNotMQTT
+	}
+	if typ != TypeConnack || len(body) < 2 {
+		return nil, ErrNotMQTT
+	}
+	code := body[1]
+	return &ScanResult{
+		Connected:  true,
+		ReturnCode: code,
+		Open:       code == CodeAccepted,
+	}, nil
+}

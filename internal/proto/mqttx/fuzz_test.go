@@ -1,0 +1,60 @@
+package mqttx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadPacket hardens the framing layer against hostile peers.
+func FuzzReadPacket(f *testing.F) {
+	f.Add(EncodeConnect(&ConnectPacket{ProtoName: "MQTT", ProtoLevel: 4, ClientID: "c"}))
+	f.Add(EncodeConnack(false, CodeAccepted))
+	f.Add([]byte{0x10, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, _, body, err := ReadPacket(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if typ == 0 {
+			t.Fatal("reserved type accepted")
+		}
+		if len(body) > maxPacketBytes {
+			t.Fatalf("body of %d bytes exceeds cap", len(body))
+		}
+		if typ == TypeConnect {
+			// DecodeConnect must not panic on any accepted body.
+			DecodeConnect(body)
+		}
+	})
+}
+
+// FuzzDecodeConnect exercises the CONNECT payload parser directly.
+func FuzzDecodeConnect(f *testing.F) {
+	conn := EncodeConnect(&ConnectPacket{
+		ProtoName: "MQTT", ProtoLevel: 4, ClientID: "dev",
+		HasAuth: true, Username: "u", Password: "p",
+	})
+	// Strip the fixed header (type byte + 1-byte remaining length).
+	f.Add(conn[2:])
+	f.Add([]byte{0, 4, 'M', 'Q', 'T', 'T', 4, 0xff})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		p, err := DecodeConnect(body)
+		if err != nil {
+			return
+		}
+		enc := EncodeConnect(p)
+		_, _, back, err := ReadPacket(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("re-encode unparseable: %v", err)
+		}
+		p2, err := DecodeConnect(back)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if p2.ProtoName != p.ProtoName || p2.ClientID != p.ClientID ||
+			p2.Username != p.Username || p2.Password != p.Password {
+			t.Fatalf("round trip changed connect:\n%+v\n%+v", p, p2)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+// Package mqttx implements the MQTT 3.1.1 connection establishment the
+// paper's IoT scans exercise: CONNECT/CONNACK with authentication
+// semantics. A broker either accepts anonymous sessions (the "no access
+// control" population of Figure 3) or refuses them with return code 5.
+//
+// The codec follows the OASIS MQTT 3.1.1 wire format (fixed header with
+// variable-length remaining-length field, length-prefixed strings).
+package mqttx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Control packet types (high nibble of the fixed header).
+const (
+	TypeConnect = 1
+	TypeConnack = 2
+)
+
+// CONNACK return codes (MQTT 3.1.1 §3.2.2.3).
+const (
+	CodeAccepted           = 0x00
+	CodeUnacceptableProto  = 0x01
+	CodeIdentifierRejected = 0x02
+	CodeServerUnavailable  = 0x03
+	CodeBadCredentials     = 0x04
+	CodeNotAuthorized      = 0x05
+)
+
+// Errors returned by codec and scan functions.
+var (
+	ErrNotMQTT     = errors.New("mqttx: not an MQTT response")
+	ErrMalformed   = errors.New("mqttx: malformed packet")
+	ErrTooLarge    = errors.New("mqttx: remaining length exceeds limit")
+	maxPacketBytes = 64 << 10
+)
+
+// ConnectPacket is a parsed CONNECT.
+type ConnectPacket struct {
+	ProtoName  string // "MQTT" (3.1.1) or "MQIsdp" (3.1)
+	ProtoLevel byte   // 4 for 3.1.1
+	CleanStart bool
+	KeepAlive  uint16
+	ClientID   string
+	Username   string
+	Password   string
+	HasAuth    bool // username flag was set
+}
+
+// EncodeConnect serialises a CONNECT packet.
+func EncodeConnect(p *ConnectPacket) []byte {
+	var body []byte
+	body = appendMQTTString(body, p.ProtoName)
+	body = append(body, p.ProtoLevel)
+	var flags byte
+	if p.CleanStart {
+		flags |= 0x02
+	}
+	if p.HasAuth {
+		flags |= 0x80 | 0x40 // username + password
+	}
+	body = append(body, flags)
+	var ka [2]byte
+	binary.BigEndian.PutUint16(ka[:], p.KeepAlive)
+	body = append(body, ka[:]...)
+	body = appendMQTTString(body, p.ClientID)
+	if p.HasAuth {
+		body = appendMQTTString(body, p.Username)
+		body = appendMQTTString(body, p.Password)
+	}
+	return frame(TypeConnect, 0, body)
+}
+
+// DecodeConnect parses a CONNECT packet body (after the fixed header).
+func DecodeConnect(body []byte) (*ConnectPacket, error) {
+	p := &ConnectPacket{}
+	var err error
+	if p.ProtoName, body, err = readMQTTString(body); err != nil {
+		return nil, err
+	}
+	if len(body) < 4 {
+		return nil, ErrMalformed
+	}
+	p.ProtoLevel = body[0]
+	flags := body[1]
+	p.CleanStart = flags&0x02 != 0
+	p.KeepAlive = binary.BigEndian.Uint16(body[2:4])
+	body = body[4:]
+	if p.ClientID, body, err = readMQTTString(body); err != nil {
+		return nil, err
+	}
+	if flags&0x04 != 0 { // will flag: skip will topic + message
+		if _, body, err = readMQTTString(body); err != nil {
+			return nil, err
+		}
+		if _, body, err = readMQTTString(body); err != nil {
+			return nil, err
+		}
+	}
+	if flags&0x80 != 0 {
+		p.HasAuth = true
+		if p.Username, body, err = readMQTTString(body); err != nil {
+			return nil, err
+		}
+		if flags&0x40 != 0 {
+			if p.Password, _, err = readMQTTString(body); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// EncodeConnack serialises a CONNACK with the given return code.
+func EncodeConnack(sessionPresent bool, code byte) []byte {
+	sp := byte(0)
+	if sessionPresent {
+		sp = 1
+	}
+	return frame(TypeConnack, 0, []byte{sp, code})
+}
+
+// frame prepends the fixed header.
+func frame(typ, flags byte, body []byte) []byte {
+	out := []byte{typ<<4 | flags&0x0f}
+	out = appendRemainingLength(out, len(body))
+	return append(out, body...)
+}
+
+// appendRemainingLength encodes the MQTT variable-length integer.
+func appendRemainingLength(b []byte, n int) []byte {
+	for {
+		d := byte(n % 128)
+		n /= 128
+		if n > 0 {
+			b = append(b, d|0x80)
+		} else {
+			return append(b, d)
+		}
+	}
+}
+
+// ReadPacket reads one MQTT control packet from r, returning its type,
+// flags, and body.
+func ReadPacket(r io.Reader) (typ, flags byte, body []byte, err error) {
+	var hdr [1]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	typ, flags = hdr[0]>>4, hdr[0]&0x0f
+	if typ == 0 {
+		return 0, 0, nil, ErrMalformed
+	}
+	n, err := readRemainingLength(r)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if n > maxPacketBytes {
+		return 0, 0, nil, ErrTooLarge
+	}
+	body = make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, 0, nil, ErrMalformed
+	}
+	return typ, flags, body, nil
+}
+
+func readRemainingLength(r io.Reader) (int, error) {
+	mult, val := 1, 0
+	for i := 0; i < 4; i++ {
+		var b [1]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, ErrMalformed
+		}
+		val += int(b[0]&0x7f) * mult
+		if b[0]&0x80 == 0 {
+			return val, nil
+		}
+		mult *= 128
+	}
+	return 0, fmt.Errorf("%w: remaining length over 4 bytes", ErrMalformed)
+}
+
+func appendMQTTString(b []byte, s string) []byte {
+	var l [2]byte
+	binary.BigEndian.PutUint16(l[:], uint16(len(s)))
+	b = append(b, l[:]...)
+	return append(b, s...)
+}
+
+func readMQTTString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrMalformed
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, ErrMalformed
+	}
+	return string(b[:n]), b[n:], nil
+}

@@ -1,0 +1,219 @@
+package mqttx
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ntpscan/internal/netsim"
+)
+
+func pair() (net.Conn, net.Conn) {
+	return netsim.NewConnPair(
+		netip.MustParseAddrPort("[2001:db8::1]:40000"),
+		netip.MustParseAddrPort("[2001:db8::2]:1883"))
+}
+
+func TestConnectRoundTrip(t *testing.T) {
+	p := &ConnectPacket{
+		ProtoName: "MQTT", ProtoLevel: 4, CleanStart: true,
+		KeepAlive: 60, ClientID: "sensor-7",
+		HasAuth: true, Username: "user", Password: "pass",
+	}
+	enc := EncodeConnect(p)
+	typ, _, body, err := ReadPacket(bytes.NewReader(enc))
+	if err != nil || typ != TypeConnect {
+		t.Fatalf("ReadPacket: %d %v", typ, err)
+	}
+	got, err := DecodeConnect(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *p {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestConnectAnonymousRoundTrip(t *testing.T) {
+	p := &ConnectPacket{ProtoName: "MQTT", ProtoLevel: 4, ClientID: "c"}
+	_, _, body, err := ReadPacket(bytes.NewReader(EncodeConnect(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeConnect(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasAuth || got.Username != "" {
+		t.Fatalf("anonymous decode = %+v", got)
+	}
+}
+
+func TestRemainingLengthEncoding(t *testing.T) {
+	// Spec examples: 127 -> 0x7F; 128 -> 0x80 0x01; 16383 -> 0xFF 0x7F.
+	cases := []struct {
+		n    int
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{127, []byte{0x7f}},
+		{128, []byte{0x80, 0x01}},
+		{16383, []byte{0xff, 0x7f}},
+		{16384, []byte{0x80, 0x80, 0x01}},
+	}
+	for _, c := range cases {
+		got := appendRemainingLength(nil, c.n)
+		if !bytes.Equal(got, c.want) {
+			t.Errorf("encode(%d) = %x, want %x", c.n, got, c.want)
+		}
+		dec, err := readRemainingLength(bytes.NewReader(got))
+		if err != nil || dec != c.n {
+			t.Errorf("decode(%x) = %d %v", got, dec, err)
+		}
+	}
+}
+
+func TestRemainingLengthProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		enc := appendRemainingLength(nil, int(n))
+		dec, err := readRemainingLength(bytes.NewReader(enc))
+		return err == nil && dec == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadPacketLimits(t *testing.T) {
+	// Remaining length over the cap.
+	huge := append([]byte{TypeConnect << 4}, appendRemainingLength(nil, maxPacketBytes+1)...)
+	if _, _, _, err := ReadPacket(bytes.NewReader(huge)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v", err)
+	}
+	// Truncated body.
+	short := append([]byte{TypeConnect << 4}, appendRemainingLength(nil, 10)...)
+	if _, _, _, err := ReadPacket(bytes.NewReader(short)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("got %v", err)
+	}
+	// Type 0 is reserved.
+	if _, _, _, err := ReadPacket(bytes.NewReader([]byte{0x00, 0x00})); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDecodeConnectMalformed(t *testing.T) {
+	for _, body := range [][]byte{
+		{},
+		{0, 4, 'M', 'Q'},           // truncated proto name
+		{0, 4, 'M', 'Q', 'T', 'T'}, // missing level/flags
+	} {
+		if _, err := DecodeConnect(body); err == nil {
+			t.Errorf("accepted %x", body)
+		}
+	}
+}
+
+func TestDecodeConnectSkipsWill(t *testing.T) {
+	var body []byte
+	body = appendMQTTString(body, "MQTT")
+	body = append(body, 4, 0x04) // will flag
+	body = append(body, 0, 30)
+	body = appendMQTTString(body, "client")
+	body = appendMQTTString(body, "will/topic")
+	body = appendMQTTString(body, "gone")
+	p, err := DecodeConnect(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ClientID != "client" {
+		t.Fatalf("client = %q", p.ClientID)
+	}
+}
+
+func scanBroker(t *testing.T, opts BrokerOptions) *ScanResult {
+	t.Helper()
+	c, s := pair()
+	defer c.Close()
+	go ServeConn(s, opts)
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	res, err := Scan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestScanOpenBroker(t *testing.T) {
+	res := scanBroker(t, BrokerOptions{})
+	if !res.Open || res.ReturnCode != CodeAccepted {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestScanAuthBroker(t *testing.T) {
+	res := scanBroker(t, BrokerOptions{RequireAuth: true})
+	if res.Open || res.ReturnCode != CodeNotAuthorized {
+		t.Fatalf("res = %+v", res)
+	}
+	if !res.Connected {
+		t.Fatal("auth-refusing broker still spoke MQTT")
+	}
+}
+
+func TestBrokerAcceptsGoodCredentials(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	go ServeConn(s, BrokerOptions{RequireAuth: true, Credentials: map[string]string{"u": "p"}})
+	req := &ConnectPacket{ProtoName: "MQTT", ProtoLevel: 4, ClientID: "x", HasAuth: true, Username: "u", Password: "p"}
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Write(EncodeConnect(req))
+	typ, _, body, err := ReadPacket(c)
+	if err != nil || typ != TypeConnack || body[1] != CodeAccepted {
+		t.Fatalf("connack = %d %x %v", typ, body, err)
+	}
+}
+
+func TestBrokerRejectsBadCredentials(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	go ServeConn(s, BrokerOptions{RequireAuth: true, Credentials: map[string]string{"u": "p"}})
+	req := &ConnectPacket{ProtoName: "MQTT", ProtoLevel: 4, ClientID: "x", HasAuth: true, Username: "u", Password: "wrong"}
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Write(EncodeConnect(req))
+	_, _, body, err := ReadPacket(c)
+	if err != nil || body[1] != CodeBadCredentials {
+		t.Fatalf("connack = %x %v", body, err)
+	}
+}
+
+func TestBrokerRejectsOldProtocol(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	go ServeConn(s, BrokerOptions{})
+	req := &ConnectPacket{ProtoName: "MQIsdp", ProtoLevel: 3, ClientID: "x"}
+	c.SetDeadline(time.Now().Add(time.Second))
+	c.Write(EncodeConnect(req))
+	_, _, body, err := ReadPacket(c)
+	if err != nil || body[1] != CodeUnacceptableProto {
+		t.Fatalf("connack = %x %v", body, err)
+	}
+}
+
+func TestScanNonMQTTServer(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	go func() {
+		buf := make([]byte, 64)
+		s.Read(buf)
+		s.Write([]byte("SSH-2.0-OpenSSH_9.2\r\n"))
+		s.Close()
+	}()
+	c.SetDeadline(time.Now().Add(time.Second))
+	if _, err := Scan(c); err == nil {
+		t.Fatal("non-MQTT peer accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package sshx
+
+import "testing"
+
+// FuzzParseServerID hardens identification parsing against hostile
+// banners (the paper's Table 9 tail shows how creative they get).
+func FuzzParseServerID(f *testing.F) {
+	f.Add("SSH-2.0-OpenSSH_9.2p1 Debian-2+deb12u3")
+	f.Add("SSH-2.0-YouWillNotSeeMyDistro")
+	f.Add("SSH-1.99-weird comment with spaces")
+	f.Add("not ssh")
+	f.Fuzz(func(t *testing.T, line string) {
+		id, err := ParseServerID(line)
+		if err != nil {
+			return
+		}
+		// Derived extractors must not panic on any accepted ID.
+		_ = id.OS()
+		_ = id.OpenSSHVersion()
+		if base, rev, ok := id.PatchLevel(); ok {
+			if rev < 0 || base == "" {
+				t.Fatalf("bad patch parse: %q %d", base, rev)
+			}
+		}
+	})
+}

@@ -1,0 +1,144 @@
+// Package sshx implements the SSH-2 surface the paper's scans consume:
+// the RFC 4253 identification-string exchange and a host-key exchange
+// that yields the server's key identity.
+//
+// The identification exchange is wire-faithful (version lines, optional
+// pre-banner lines, CR LF framing). The key exchange is simplified: the
+// server sends one SSH-framed KEXINIT-style packet carrying its host key
+// blob instead of running a full Diffie-Hellman negotiation — the scan
+// only needs key identity (for dedup and reuse analysis, Tables 2/3 and
+// §6), never a session key. Field extraction from the server ID (OS
+// name, OpenSSH version, Debian-style patch level) matches the paper's
+// §4.3.2/§4.4.1 methodology.
+package sshx
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Errors returned by the scanner and parsers.
+var (
+	ErrNotSSH      = errors.New("sshx: peer did not present an SSH identification string")
+	ErrBadPacket   = errors.New("sshx: malformed key packet")
+	ErrTooManyPre  = errors.New("sshx: too many pre-identification lines")
+	errNoHostKey   = errors.New("sshx: connection closed before host key")
+	maxPacketBytes = 16 << 10
+)
+
+// ServerID is a parsed SSH identification string, e.g.
+// "SSH-2.0-OpenSSH_9.2p1 Debian-2+deb12u3".
+type ServerID struct {
+	Raw          string
+	ProtoVersion string // "2.0"
+	Software     string // "OpenSSH_9.2p1"
+	Comment      string // "Debian-2+deb12u3" (may be empty)
+}
+
+// ParseServerID parses one identification line (without line ending).
+func ParseServerID(line string) (ServerID, error) {
+	if !strings.HasPrefix(line, "SSH-") {
+		return ServerID{}, ErrNotSSH
+	}
+	id := ServerID{Raw: line}
+	rest := line[len("SSH-"):]
+	proto, rest, ok := strings.Cut(rest, "-")
+	if !ok {
+		return ServerID{}, ErrNotSSH
+	}
+	id.ProtoVersion = proto
+	id.Software, id.Comment, _ = strings.Cut(rest, " ")
+	return id, nil
+}
+
+// OS extracts the operating-system name the paper reads from server IDs:
+// the token before the first '-' of the comment ("Debian-2+deb12u3" →
+// "Debian"). An empty comment yields "".
+func (id ServerID) OS() string {
+	if id.Comment == "" {
+		return ""
+	}
+	os, _, _ := strings.Cut(id.Comment, "-")
+	return os
+}
+
+// OpenSSHVersion returns the version part of an OpenSSH software string
+// ("OpenSSH_9.2p1" → "9.2p1"), or "" for other software.
+func (id ServerID) OpenSSHVersion() string {
+	v, ok := strings.CutPrefix(id.Software, "OpenSSH_")
+	if !ok {
+		return ""
+	}
+	return v
+}
+
+// PatchLevel splits a Debian-style comment into a base release string
+// and a numeric patch revision, the granularity of the paper's
+// outdatedness analysis (§4.4.1):
+//
+//	"Debian-2+deb12u3"    → base "Debian-2+deb12u",    rev 3
+//	"Raspbian-10+deb10u2" → base "Raspbian-10+deb10u", rev 2
+//	"Ubuntu-3ubuntu13.4"  → base "Ubuntu-3ubuntu13.",  rev 4
+//
+// ok is false when the comment exposes no patch revision (FreeBSD date
+// tags, bare comments), excluding the host from the analysis exactly as
+// the paper excludes non-Debian-derived servers.
+func (id ServerID) PatchLevel() (base string, rev int, ok bool) {
+	c := id.Comment
+	if c == "" {
+		return "", 0, false
+	}
+	// Find the trailing digit run.
+	i := len(c)
+	for i > 0 && c[i-1] >= '0' && c[i-1] <= '9' {
+		i--
+	}
+	if i == len(c) || i == 0 {
+		return "", 0, false
+	}
+	// The separator before the revision must be a Debian/Ubuntu patch
+	// marker: "uN" or ".N".
+	switch c[i-1] {
+	case 'u', '.':
+	default:
+		return "", 0, false
+	}
+	rev, err := strconv.Atoi(c[i:])
+	if err != nil {
+		return "", 0, false
+	}
+	return c[:i], rev, true
+}
+
+// HostKey is a server host key: algorithm name plus opaque key blob.
+type HostKey struct {
+	Type string // e.g. "ssh-ed25519"
+	Blob []byte // public key material (opaque identity)
+}
+
+// Fingerprint is the SHA-256 digest over type and blob, the dedup key
+// ("#Host Keys" in the tables).
+func (k HostKey) Fingerprint() [32]byte {
+	h := sha256.New()
+	h.Write([]byte(k.Type))
+	h.Write([]byte{0})
+	h.Write(k.Blob)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// FingerprintHex returns the fingerprint in lowercase hex.
+func (k HostKey) FingerprintHex() string {
+	fp := k.Fingerprint()
+	return hex.EncodeToString(fp[:])
+}
+
+// String implements fmt.Stringer.
+func (k HostKey) String() string {
+	return fmt.Sprintf("%s %s", k.Type, k.FingerprintHex()[:16])
+}

@@ -1,0 +1,225 @@
+package sshx
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"ntpscan/internal/netsim"
+)
+
+func pair() (net.Conn, net.Conn) {
+	return netsim.NewConnPair(
+		netip.MustParseAddrPort("[2001:db8::1]:40000"),
+		netip.MustParseAddrPort("[2001:db8::2]:22"))
+}
+
+func TestParseServerID(t *testing.T) {
+	cases := []struct {
+		line              string
+		software, comment string
+		os                string
+	}{
+		{"SSH-2.0-OpenSSH_9.2p1 Debian-2+deb12u3", "OpenSSH_9.2p1", "Debian-2+deb12u3", "Debian"},
+		{"SSH-2.0-OpenSSH_8.9p1 Ubuntu-3ubuntu0.10", "OpenSSH_8.9p1", "Ubuntu-3ubuntu0.10", "Ubuntu"},
+		{"SSH-2.0-OpenSSH_7.9p1 Raspbian-10+deb10u2", "OpenSSH_7.9p1", "Raspbian-10+deb10u2", "Raspbian"},
+		{"SSH-2.0-OpenSSH_9.6 FreeBSD-20240701", "OpenSSH_9.6", "FreeBSD-20240701", "FreeBSD"},
+		{"SSH-2.0-OpenSSH_9.6p1", "OpenSSH_9.6p1", "", ""},
+		{"SSH-2.0-dropbear_2022.83", "dropbear_2022.83", "", ""},
+	}
+	for _, c := range cases {
+		id, err := ParseServerID(c.line)
+		if err != nil {
+			t.Fatalf("ParseServerID(%q): %v", c.line, err)
+		}
+		if id.ProtoVersion != "2.0" || id.Software != c.software || id.Comment != c.comment {
+			t.Errorf("parsed %q: %+v", c.line, id)
+		}
+		if got := id.OS(); got != c.os {
+			t.Errorf("OS(%q) = %q, want %q", c.line, got, c.os)
+		}
+	}
+}
+
+func TestParseServerIDRejects(t *testing.T) {
+	for _, line := range []string{"", "HTTP/1.1 200 OK", "SSH2.0-x", "SSH-2.0"} {
+		if _, err := ParseServerID(line); err == nil {
+			t.Errorf("accepted %q", line)
+		}
+	}
+}
+
+func TestOpenSSHVersion(t *testing.T) {
+	id, _ := ParseServerID("SSH-2.0-OpenSSH_9.2p1 Debian-2+deb12u3")
+	if v := id.OpenSSHVersion(); v != "9.2p1" {
+		t.Fatalf("version = %q", v)
+	}
+	drop, _ := ParseServerID("SSH-2.0-dropbear_2022.83")
+	if v := drop.OpenSSHVersion(); v != "" {
+		t.Fatalf("dropbear version = %q", v)
+	}
+}
+
+func TestPatchLevel(t *testing.T) {
+	cases := []struct {
+		comment string
+		base    string
+		rev     int
+		ok      bool
+	}{
+		{"Debian-2+deb12u3", "Debian-2+deb12u", 3, true},
+		{"Raspbian-10+deb10u2", "Raspbian-10+deb10u", 2, true},
+		{"Ubuntu-3ubuntu13.4", "Ubuntu-3ubuntu13.", 4, true},
+		{"Ubuntu-3ubuntu0.10", "Ubuntu-3ubuntu0.", 10, true},
+		{"FreeBSD-20240701", "", 0, false}, // date, not a patch marker ('1' preceded by digit run to start)
+		{"", "", 0, false},
+		{"Debian", "", 0, false},
+	}
+	for _, c := range cases {
+		id := ServerID{Comment: c.comment}
+		base, rev, ok := id.PatchLevel()
+		if ok != c.ok || base != c.base || rev != c.rev {
+			t.Errorf("PatchLevel(%q) = %q %d %v, want %q %d %v",
+				c.comment, base, rev, ok, c.base, c.rev, c.ok)
+		}
+	}
+}
+
+func TestHostKeyFingerprint(t *testing.T) {
+	a := HostKey{Type: "ssh-ed25519", Blob: []byte{1, 2, 3}}
+	b := HostKey{Type: "ssh-ed25519", Blob: []byte{1, 2, 3}}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical keys differ")
+	}
+	c := HostKey{Type: "ssh-rsa", Blob: []byte{1, 2, 3}}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("type not part of fingerprint")
+	}
+	d := HostKey{Type: "ssh-ed25519", Blob: []byte{9}}
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("blob not part of fingerprint")
+	}
+	if len(a.FingerprintHex()) != 64 {
+		t.Fatal("hex length")
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestScanEndToEnd(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	key := HostKey{Type: "ssh-ed25519", Blob: []byte("device-key-1")}
+	go ServeConn(s, ServerOptions{
+		ID:      "SSH-2.0-OpenSSH_9.2p1 Raspbian-10+deb10u2",
+		HostKey: key,
+	})
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	res, err := Scan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID.OS() != "Raspbian" {
+		t.Fatalf("OS = %q", res.ID.OS())
+	}
+	if res.HostKey == nil || res.HostKey.Fingerprint() != key.Fingerprint() {
+		t.Fatalf("host key = %+v", res.HostKey)
+	}
+}
+
+func TestScanWithBannerLines(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	go ServeConn(s, ServerOptions{
+		ID:      "SSH-2.0-OpenSSH_9.6p1 Ubuntu-3ubuntu13.4",
+		HostKey: HostKey{Type: "ssh-rsa", Blob: []byte("k")},
+		Banner:  []string{"Unauthorized access prohibited", "All sessions are logged"},
+	})
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	res, err := Scan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Banner) != 2 || res.Banner[0] != "Unauthorized access prohibited" {
+		t.Fatalf("banner = %v", res.Banner)
+	}
+	if res.ID.OS() != "Ubuntu" {
+		t.Fatalf("OS = %q", res.ID.OS())
+	}
+}
+
+func TestScanNonSSHServer(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	go func() {
+		s.Write([]byte("220 mail.example.org ESMTP\r\n"))
+		// Keep emitting non-SSH lines until the scanner gives up.
+		for i := 0; i < 64; i++ {
+			if _, err := s.Write([]byte("250 whatever\r\n")); err != nil {
+				return
+			}
+		}
+		s.Close()
+	}()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := Scan(c); !errors.Is(err, ErrTooManyPre) && !errors.Is(err, ErrNotSSH) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestScanPartialNoHostKey(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	go func() {
+		s.Write([]byte("SSH-2.0-OpenSSH_9.2p1 Debian-2+deb12u3\r\n"))
+		s.Close() // close before key packet
+	}()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	res, err := Scan(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HostKey != nil {
+		t.Fatal("phantom host key")
+	}
+	if res.ID.Software != "OpenSSH_9.2p1" {
+		t.Fatalf("ID = %+v", res.ID)
+	}
+}
+
+func TestScanRejectsOversizedPacket(t *testing.T) {
+	c, s := pair()
+	defer c.Close()
+	go func() {
+		s.Write([]byte("SSH-2.0-OpenSSH_9.2p1\r\n"))
+		// Length prefix far beyond the cap.
+		s.Write([]byte{0xff, 0xff, 0xff, 0xff})
+		s.Close()
+	}()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := Scan(c); !errors.Is(err, ErrBadPacket) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestHostKeyPacketRoundTrip(t *testing.T) {
+	key := HostKey{Type: "ecdsa-sha2-nistp256", Blob: []byte{0, 1, 2, 3, 4}}
+	enc := encodeHostKeyPacket(key)
+	c, s := pair()
+	defer c.Close()
+	defer s.Close()
+	go func() { s.Write(enc) }()
+	c.SetDeadline(time.Now().Add(time.Second))
+	br := bufio.NewReader(c)
+	got, err := readHostKeyPacket(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != key.Type || string(got.Blob) != string(key.Blob) {
+		t.Fatalf("round trip = %+v", got)
+	}
+}

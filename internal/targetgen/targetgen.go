@@ -1,0 +1,163 @@
+// Package targetgen implements a target-generation algorithm in the
+// Entropy/IP family (Foremski et al., §2.1.1 of the paper), trained on
+// a seed set of observed IPv6 addresses. The paper's discussion leaves
+// "address generators trained on [NTP-sourced] addresses" as future
+// work; this package builds one so the question can be answered
+// experimentally (see experiments.ExtensionTargetGen): generation
+// recovers the structured, stable corner of the seed space but cannot
+// reconstruct ephemeral privacy addresses — quantifying why live
+// sourcing beats any static derivative of it.
+//
+// The model is deliberately the simple published shape: learn the
+// distribution of observed /64 network prefixes, segment interface
+// identifiers by entropy, and model low-entropy segments with
+// per-nibble value histograms. No machine-learning extensions.
+package targetgen
+
+import (
+	"net/netip"
+	"sort"
+
+	"ntpscan/internal/ipv6x"
+	"ntpscan/internal/rng"
+)
+
+// Model is a trained generator.
+type Model struct {
+	// prefixes are the observed /64s with observation counts, the
+	// "network" half of the model.
+	prefixes  []weightedPrefix
+	cumulativ []float64
+	total     float64
+
+	// nibbleHist[i][v] counts value v at IID nibble position i among
+	// structured/low-entropy seeds.
+	nibbleHist [16][16]float64
+	// structuredSeeds is the share of seeds whose IIDs were considered
+	// learnable (entropy below the threshold).
+	structuredSeeds int
+	totalSeeds      int
+}
+
+type weightedPrefix struct {
+	hi    uint64
+	count float64
+}
+
+// entropyThreshold separates learnable identifiers from effectively
+// random ones. Privacy addresses sit far above it.
+const entropyThreshold = 1.8
+
+// Train builds a model from seed addresses.
+func Train(seeds []netip.Addr) *Model {
+	m := &Model{}
+	prefixCount := make(map[uint64]float64)
+	for _, a := range seeds {
+		if !ipv6x.Is6(a) {
+			continue
+		}
+		m.totalSeeds++
+		hi, lo := ipv6x.Parts(a)
+		prefixCount[hi]++
+		if ipv6x.IIDEntropy(a) <= entropyThreshold {
+			m.structuredSeeds++
+			for i := 0; i < 16; i++ {
+				nib := lo >> (60 - 4*uint(i)) & 0xf
+				m.nibbleHist[i][nib]++
+			}
+		}
+	}
+	for hi, c := range prefixCount {
+		m.prefixes = append(m.prefixes, weightedPrefix{hi: hi, count: c})
+	}
+	sort.Slice(m.prefixes, func(i, j int) bool { return m.prefixes[i].hi < m.prefixes[j].hi })
+	m.cumulativ = make([]float64, len(m.prefixes))
+	for i, p := range m.prefixes {
+		m.total += p.count
+		m.cumulativ[i] = m.total
+	}
+	return m
+}
+
+// SeedCount returns how many seeds trained the model.
+func (m *Model) SeedCount() int { return m.totalSeeds }
+
+// LearnableShare is the fraction of seeds whose identifiers the model
+// could actually learn from. For NTP-sourced eyeball data this is
+// small — most of the space is privacy addressing.
+func (m *Model) LearnableShare() float64 {
+	if m.totalSeeds == 0 {
+		return 0
+	}
+	return float64(m.structuredSeeds) / float64(m.totalSeeds)
+}
+
+// Prefixes returns how many distinct /64s the model learned.
+func (m *Model) Prefixes() int { return len(m.prefixes) }
+
+// samplePrefix draws a /64 proportional to observation count.
+func (m *Model) samplePrefix(r *rng.Stream) (uint64, bool) {
+	if m.total == 0 {
+		return 0, false
+	}
+	target := r.Float64() * m.total
+	idx := sort.SearchFloat64s(m.cumulativ, target)
+	if idx >= len(m.prefixes) {
+		idx = len(m.prefixes) - 1
+	}
+	return m.prefixes[idx].hi, true
+}
+
+// sampleIID draws an identifier from the per-nibble histograms,
+// falling back to small structured values where a position was never
+// observed.
+func (m *Model) sampleIID(r *rng.Stream) uint64 {
+	var iid uint64
+	for i := 0; i < 16; i++ {
+		var weights [16]float64
+		seen := 0.0
+		for v := 0; v < 16; v++ {
+			weights[v] = m.nibbleHist[i][v]
+			seen += weights[v]
+		}
+		var nib uint64
+		if seen > 0 {
+			target := r.Float64() * seen
+			for v := 0; v < 16; v++ {
+				target -= weights[v]
+				if target < 0 {
+					nib = uint64(v)
+					break
+				}
+			}
+		}
+		iid = iid<<4 | nib
+	}
+	if iid == 0 {
+		iid = 1
+	}
+	return iid
+}
+
+// Generate emits n candidate addresses not present in the seed set.
+// Candidates combine learned prefixes with learned identifier
+// structure; when the identifier model is empty the prefix's ::1 is
+// proposed (the weakest reasonable guess).
+func (m *Model) Generate(n int, seed uint64) []netip.Addr {
+	r := rng.New(seed ^ 0x7a9647)
+	seen := make(map[netip.Addr]struct{}, n)
+	out := make([]netip.Addr, 0, n)
+	for attempts := 0; len(out) < n && attempts < 20*n+100; attempts++ {
+		hi, ok := m.samplePrefix(r)
+		if !ok {
+			break
+		}
+		addr := ipv6x.FromParts(hi, m.sampleIID(r))
+		if _, dup := seen[addr]; dup {
+			continue
+		}
+		seen[addr] = struct{}{}
+		out = append(out, addr)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package targetgen
+
+import (
+	"net/netip"
+	"testing"
+
+	"ntpscan/internal/ipv6x"
+	"ntpscan/internal/rng"
+)
+
+func structuredSeed(prefix uint64, last byte) netip.Addr {
+	return ipv6x.FromParts(prefix, uint64(last))
+}
+
+func privacySeed(prefix uint64, r *rng.Stream) netip.Addr {
+	return ipv6x.FromParts(prefix, r.Uint64())
+}
+
+func TestTrainCountsSeeds(t *testing.T) {
+	r := rng.New(1)
+	var seeds []netip.Addr
+	for i := 0; i < 50; i++ {
+		seeds = append(seeds, structuredSeed(0x20010db8_00000000, byte(i+1)))
+	}
+	for i := 0; i < 50; i++ {
+		seeds = append(seeds, privacySeed(0x20010db8_00010000, r))
+	}
+	m := Train(seeds)
+	if m.SeedCount() != 100 {
+		t.Fatalf("SeedCount = %d", m.SeedCount())
+	}
+	share := m.LearnableShare()
+	if share < 0.4 || share > 0.6 {
+		t.Fatalf("LearnableShare = %v, want ~0.5", share)
+	}
+	if m.Prefixes() != 2 {
+		t.Fatalf("Prefixes = %d", m.Prefixes())
+	}
+}
+
+func TestTrainIgnoresIPv4(t *testing.T) {
+	m := Train([]netip.Addr{netip.MustParseAddr("192.0.2.1")})
+	if m.SeedCount() != 0 {
+		t.Fatal("IPv4 seed counted")
+	}
+	if got := m.Generate(5, 1); len(got) != 0 {
+		t.Fatalf("empty model generated %d candidates", len(got))
+	}
+}
+
+func TestGenerateStaysInLearnedPrefixes(t *testing.T) {
+	var seeds []netip.Addr
+	for i := 0; i < 30; i++ {
+		seeds = append(seeds, structuredSeed(0x20010db8_00000000, byte(i+1)))
+	}
+	m := Train(seeds)
+	for _, c := range m.Generate(100, 2) {
+		hi, _ := ipv6x.Parts(c)
+		if hi != 0x20010db8_00000000 {
+			t.Fatalf("candidate %v outside learned prefix", c)
+		}
+	}
+}
+
+func TestGenerateRecoversStructure(t *testing.T) {
+	// Seeds are ::1..::40 in one prefix: generated identifiers must be
+	// small structured values, not random 64-bit noise.
+	var seeds []netip.Addr
+	for i := 0; i < 64; i++ {
+		seeds = append(seeds, structuredSeed(0x20010db8_00000000, byte(i+1)))
+	}
+	m := Train(seeds)
+	for _, c := range m.Generate(50, 3) {
+		if ipv6x.IID(c) > 0xff {
+			t.Fatalf("candidate %v does not match seed structure", c)
+		}
+	}
+}
+
+func TestGenerateDeduplicates(t *testing.T) {
+	var seeds []netip.Addr
+	for i := 0; i < 8; i++ {
+		seeds = append(seeds, structuredSeed(0x20010db8_00000000|uint64(i)<<16, byte(i+1)))
+	}
+	m := Train(seeds)
+	got := m.Generate(40, 4)
+	seen := map[netip.Addr]bool{}
+	for _, c := range got {
+		if seen[c] {
+			t.Fatalf("duplicate candidate %v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var seeds []netip.Addr
+	for i := 0; i < 20; i++ {
+		seeds = append(seeds, structuredSeed(0x20010db8_00000000, byte(i+1)))
+	}
+	a := Train(seeds).Generate(20, 9)
+	b := Train(seeds).Generate(20, 9)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+}
+
+func TestLearnableShareLowForPrivacySeeds(t *testing.T) {
+	// The experiment's punchline: a model trained on privacy-heavy
+	// eyeball data has almost nothing to learn from.
+	r := rng.New(7)
+	var seeds []netip.Addr
+	for i := 0; i < 500; i++ {
+		seeds = append(seeds, privacySeed(0x20010db8_00000000|uint64(i)<<16, r))
+	}
+	m := Train(seeds)
+	if share := m.LearnableShare(); share > 0.05 {
+		t.Fatalf("LearnableShare = %v for pure privacy seeds", share)
+	}
+}
+
+func TestPrefixWeighting(t *testing.T) {
+	// A prefix observed 10x more often should dominate generation.
+	var seeds []netip.Addr
+	for i := 0; i < 100; i++ {
+		seeds = append(seeds, structuredSeed(0x20010db8_00000000, byte(i%200+1)))
+	}
+	for i := 0; i < 10; i++ {
+		seeds = append(seeds, structuredSeed(0x20010db8_00010000, byte(i+1)))
+	}
+	m := Train(seeds)
+	dense := 0
+	cands := m.Generate(200, 5)
+	for _, c := range cands {
+		if hi, _ := ipv6x.Parts(c); hi == 0x20010db8_00000000 {
+			dense++
+		}
+	}
+	if dense < len(cands)/2 {
+		t.Fatalf("dense prefix got %d of %d candidates", dense, len(cands))
+	}
+}

@@ -1,0 +1,138 @@
+package world
+
+import (
+	"net/netip"
+	"time"
+
+	"ntpscan/internal/ipv6x"
+	"ntpscan/internal/rng"
+)
+
+// Address derivation is stateless and deterministic: a device's address
+// at any instant is a pure function of (world seed, device, epoch). The
+// epoch index advances with the device's churn period, so dynamic
+// devices renumber over the collection window while servers stay put.
+
+// EpochAt returns the device's address-epoch index at the given time.
+// Static deployments (a single prefix epoch) are pinned to epoch 0 so
+// they never renumber, regardless of how far the clock runs.
+func (d *Device) EpochAt(now time.Time, start time.Time) int64 {
+	if d.Profile.PrefixEpochs <= 1 {
+		return 0
+	}
+	dt := now.Sub(start) + d.phase
+	if dt < 0 {
+		dt = 0
+	}
+	return int64(dt / d.epochLen)
+}
+
+// AddrAt computes the device's global address during the given epoch.
+func (w *World) AddrAt(d *Device, epoch int64) netip.Addr {
+	h := rng.New(w.Cfg.Seed ^ 0xadd7 ^ uint64(d.ID)*0x9e3779b97f4a7c15 ^ uint64(epoch)*0xbf58476d1ce4e5b9)
+
+	// Network part: AS /32 + customer /48 + /56 subnet + /64 subnet.
+	// Eyeball customers renumber into a fresh /48 slot per epoch;
+	// static deployments always land in the slot for epoch 0 (the
+	// derivation stream already mixes the epoch, so recompute with a
+	// pinned stream for stability).
+	var nh *rng.Stream
+	if d.Profile.PrefixEpochs > 1 {
+		nh = h
+	} else {
+		nh = rng.New(w.Cfg.Seed ^ 0xadd7 ^ uint64(d.ID)*0x9e3779b97f4a7c15)
+	}
+	cust := nh.Uint64n(uint64(d.AS.Cust48Pool))
+	subnet56 := nh.Uint64n(4) // a handful of /56s per customer
+	subnet64 := nh.Uint64n(4) // and LANs per /56
+	hi := uint64(d.AS.Hi32)<<32 | cust<<16 | subnet56<<8 | subnet64
+
+	// Interface identifier per addressing mode.
+	var iid uint64
+	switch d.Profile.AddrMode {
+	case AddrEUI64:
+		if d.HasMAC {
+			iid = ipv6x.EmbedMAC(d.MAC)
+		} else {
+			// Locally administered randomised MAC, fresh per epoch.
+			var m ipv6x.MAC
+			h.Bytes(m[:])
+			m[0] = m[0]&^0x01 | 0x02 // unicast, locally administered
+			iid = ipv6x.EmbedMAC(m)
+		}
+	case AddrPrivacy:
+		for iid == 0 {
+			iid = h.Uint64()
+		}
+	case AddrStructuredLastByte:
+		iid = 1 + h.Uint64n(254)
+	case AddrStructuredTwoBytes:
+		iid = 0x100 + h.Uint64n(0xfe00)
+	case AddrLowEntropy:
+		// Serial-derived identifiers: half the population repeats one
+		// byte (entropy ≈ 0.5 bits), half mixes three values (1.5
+		// bits), populating both of Figure 1's low-entropy bins.
+		b := byte(1 + h.Uint64n(255))
+		c := byte(h.Uint64n(256))
+		if d.ID%2 == 0 {
+			for i := 0; i < 7; i++ {
+				iid = iid<<8 | uint64(b)
+			}
+			iid = iid<<8 | uint64(c)
+		} else {
+			e := byte(h.Uint64n(256))
+			pattern := [8]byte{b, b, b, b, c, c, e, e}
+			for _, v := range pattern {
+				iid = iid<<8 | uint64(v)
+			}
+		}
+	}
+	return ipv6x.FromParts(hi, iid)
+}
+
+// CurrentAddr returns the device's address now, registering reachable
+// devices on the fabric and withdrawing their previous address when the
+// epoch rolled over (dynamic-IP churn: scans that arrive later find the
+// old address unrouted and the same device at a new one).
+func (w *World) CurrentAddr(d *Device, now time.Time) netip.Addr {
+	epoch := d.EpochAt(now, w.Cfg.Start)
+	if epoch == d.lastEpoch {
+		return d.lastAddr
+	}
+	addr := w.AddrAt(d, epoch)
+	if d.host != nil {
+		if d.lastEpoch >= 0 && d.lastAddr.IsValid() {
+			w.fabric.Unregister(d.lastAddr)
+		}
+		w.fabric.Register(addr, d.host)
+	}
+	d.lastEpoch = epoch
+	d.lastAddr = addr
+	return addr
+}
+
+// RegisterStatic places every reachable static device on the fabric at
+// its epoch-0 address. Dynamic reachable devices are registered lazily
+// through CurrentAddr as they sync; static hitlist-only deployments must
+// exist up front for the hitlist scan to find them.
+func (w *World) RegisterStatic() {
+	for _, d := range w.Devices {
+		if d.host == nil || d.Profile.PrefixEpochs > 1 {
+			continue
+		}
+		w.CurrentAddr(d, w.Cfg.Start)
+	}
+}
+
+// RegisterAllAt places every reachable device — static and dynamic — on
+// the fabric at its address as of t. Standalone scans of saved target
+// lists use this to reconstruct one instant of the world; addresses the
+// devices held in earlier epochs stay dark (the §6 staleness).
+func (w *World) RegisterAllAt(t time.Time) {
+	for _, d := range w.Devices {
+		if d.host == nil {
+			continue
+		}
+		w.CurrentAddr(d, t)
+	}
+}

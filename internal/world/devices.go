@@ -1,0 +1,370 @@
+package world
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+
+	"ntpscan/internal/asn"
+	"ntpscan/internal/ipv6x"
+	"ntpscan/internal/oui"
+	"ntpscan/internal/rng"
+)
+
+// Role classifies how a device entered the population.
+type Role int
+
+const (
+	// RoleResponsive devices are NTP clients with reachable services
+	// (the paper's "Our Data" scan universe).
+	RoleResponsive Role = iota
+	// RoleHitlistOnly devices are reachable but not NTP-visible
+	// (servers/infrastructure found through DNS-style sources).
+	RoleHitlistOnly
+	// RoleAddrOnly devices only contribute captured addresses.
+	RoleAddrOnly
+)
+
+// Role returns the device's population role.
+func (d *Device) Role() Role { return d.role }
+
+// addrOnlyVendorTail lists the remaining Table 4 manufacturers, expanded
+// into address-only device profiles programmatically.
+var addrOnlyVendorTail = []struct {
+	vendor string
+	count  int
+	region Region
+}{
+	{oui.VendorOgemray, 92000, RegionAsia},
+	{oui.VendorChinaDragon, 70000, RegionAsia},
+	{oui.VendorIComm, 49000, RegionAsia},
+	{oui.VendorHaierTel, 45000, RegionAsia},
+	{oui.VendorGaoshengda, 31000, RegionAsia},
+	{oui.VendorFiberhome, 29000, RegionAsia},
+	{oui.VendorTenda, 28000, RegionAsia},
+	{oui.VendorEarda, 26000, RegionAsia},
+	{oui.VendorShiyuan, 26000, RegionAsia},
+	{oui.VendorCultraview, 25000, RegionAsia},
+}
+
+// allProfiles returns the static catalog plus the generated vendor tail.
+func allProfiles() []*Profile {
+	ps := Profiles()
+	for _, v := range addrOnlyVendorTail {
+		ps = append(ps, &Profile{
+			Name: "iot-" + shortVendor(v.vendor), ASTyp: asn.TypeCableDSLISP,
+			Region: v.region, CountAddrOnly: v.count,
+			NTPClient: true, SyncWeight: 6,
+			AddrMode: AddrEUI64, PrefixEpochs: 2,
+			HasUniversalMAC: true, Vendor: v.vendor,
+			Filtered: true,
+		})
+	}
+	return ps
+}
+
+func shortVendor(v string) string {
+	if len(v) > 12 {
+		v = v[:12]
+	}
+	out := make([]rune, 0, len(v))
+	for _, r := range v {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+'a'-'A')
+		}
+	}
+	return string(out)
+}
+
+// buildDevices instantiates the scaled population.
+func (w *World) buildDevices(r *rng.Stream) {
+	id := 0
+	for _, p := range allProfiles() {
+		pr := r.Derive("profile/" + p.Name)
+		add := func(full int, scale float64, role Role) {
+			if full <= 0 {
+				return
+			}
+			n := scaleCount(full, scale, 1)
+			for i := 0; i < n; i++ {
+				d := w.makeDevice(id, p, role, pr)
+				id++
+				w.Devices = append(w.Devices, d)
+			}
+		}
+		add(p.CountResponsive, w.Cfg.DeviceScale, RoleResponsive)
+		add(p.CountHitlistOnly, w.Cfg.DeviceScale, RoleHitlistOnly)
+		add(p.CountAddrOnly, w.Cfg.AddrScale, RoleAddrOnly)
+	}
+	// Size customer /48 pools now that per-AS device counts are known.
+	for _, c := range w.Countries {
+		for _, lst := range [][]*AS{c.Eyeball, c.Content, c.NSP, c.Entpr} {
+			for _, a := range lst {
+				a.Cust48Pool = cust48Pool(a, c.Spec.EyeballDensity)
+			}
+		}
+	}
+}
+
+// cust48Pool sizes an AS's customer /48 pool so eyeball density matches
+// the country profile (Indian mobile carriers pack hundreds of clients
+// per /48; European DSL gives nearly every customer their own).
+func cust48Pool(a *AS, density int) int {
+	if density < 1 {
+		density = 1
+	}
+	var pool int
+	if a.Type == asn.TypeCableDSLISP {
+		pool = a.deviceCount / density
+	} else {
+		pool = a.deviceCount // servers spread out
+	}
+	if pool < 2 {
+		pool = 2
+	}
+	if pool > 0xffff {
+		pool = 0xffff
+	}
+	return pool
+}
+
+// makeDevice creates one device with placement and identity drawn from
+// pr.
+func (w *World) makeDevice(id int, p *Profile, role Role, pr *rng.Stream) *Device {
+	d := &Device{ID: id, Profile: p, role: role, KeySlot: -1}
+
+	// Placement: responsive/addr-only NTP clients live in vantage
+	// countries (only their zones reach our capture servers);
+	// hitlist-only deployments spread everywhere.
+	country := w.pickCountry(p, role, pr)
+	d.Country = country.Spec.Code
+	d.AS = w.pickAS(country, p.ASTyp, pr)
+	d.AS.deviceCount++
+
+	// Hardware address. An empty Vendor with HasUniversalMAC models
+	// manufacturers absent from the IEEE registry (the paper's
+	// "unlisted" class): the unique bit is set but no OUI record
+	// exists.
+	if p.AddrMode == AddrEUI64 && p.HasUniversalMAC {
+		var block [3]byte
+		if p.Vendor != "" {
+			ouis := w.OUIReg.OUIs(p.Vendor)
+			block = ouis[pr.Intn(len(ouis))]
+		} else {
+			pr.Bytes(block[:])
+			block[0] &^= 0x03 // universal unicast, but unregistered
+		}
+		var serial [3]byte
+		pr.Bytes(serial[:])
+		d.MAC = ipv6x.MAC{block[0], block[1], block[2], serial[0], serial[1], serial[2]}
+		d.HasMAC = true
+	}
+
+	// Identity and posture. Reuse pools shrink with DeviceScale so the
+	// devices-per-key ratio stays at its full-scale calibration (~60
+	// addresses per leaked image key, §6).
+	d.CertSerial = pr.Uint64()
+	if p.KeyReuseProb > 0 && pr.Bool(p.KeyReuseProb) && p.KeyReusePoolSize > 0 {
+		pool := int(float64(p.KeyReusePoolSize) * w.Cfg.DeviceScale)
+		if pool < 1 {
+			pool = 1
+		}
+		// Zipf-skewed slot choice: the most widespread firmware image
+		// accounts for a large share of the reuse population (the
+		// paper's single key on 45 377 hosts).
+		d.KeySlot = pr.Zipf(pool, 1.4)
+		d.KeyID = reuseKeyID(p.Name, d.KeySlot)
+	} else {
+		binary.LittleEndian.PutUint64(d.KeyID[:8], pr.Uint64())
+		binary.LittleEndian.PutUint64(d.KeyID[8:], pr.Uint64())
+	}
+	d.TLSEnabled = pr.Bool(p.TLSProb)
+	d.AuthOn = pr.Bool(p.AuthProb)
+	if p.SSH != nil && !p.SSH.NoPatch {
+		lag := int(pr.ExpFloat64() * p.OutdatedBias * 1.2)
+		d.PatchRev = p.SSH.MaxRev - lag
+		if d.PatchRev < 0 {
+			d.PatchRev = 0
+		}
+	}
+
+	// Churn parameters.
+	epochs := p.PrefixEpochs
+	if epochs < 1 {
+		epochs = 1
+	}
+	d.epochLen = CollectionWindow / time.Duration(epochs)
+	d.phase = time.Duration(pr.Uint64n(uint64(d.epochLen)))
+	d.lastEpoch = -1
+
+	// Reachable devices get their service host built once.
+	if role != RoleAddrOnly && len(p.Services) > 0 {
+		d.host = w.buildHost(d)
+	} else if role != RoleAddrOnly {
+		// Profile with no services (core routers): registered so the
+		// address is routed, but every port is closed.
+		d.host = w.emptyHost(d)
+	}
+	return d
+}
+
+// reuseKeyID derives the shared key for a reuse-pool slot.
+func reuseKeyID(profile string, slot int) [16]byte {
+	h := fnv.New128a()
+	h.Write([]byte(profile))
+	h.Write([]byte{byte(slot), byte(slot >> 8), byte(slot >> 16)})
+	var out [16]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// pickCountry selects a placement country for a device.
+func (w *World) pickCountry(p *Profile, role Role, pr *rng.Stream) *Country {
+	vantageOnly := role != RoleHitlistOnly
+	// Eyeball address-only populations follow client mass linearly
+	// (India's dominance in Table 7); reachable deployments (servers,
+	// CPE with remote access) are flattened toward content-heavy
+	// markets.
+	linear := role == RoleAddrOnly
+	weights := make([]float64, len(w.Countries))
+	for i, c := range w.Countries {
+		if vantageOnly && !c.Spec.Vantage {
+			continue
+		}
+		weights[i] = regionWeight(p.Region, c.Spec, linear)
+	}
+	idx := pr.WeightedIndex(weights)
+	if idx < 0 {
+		idx = 0
+	}
+	return w.Countries[idx]
+}
+
+// regionWeight biases placement per the profile's market region. linear
+// selects raw client-mass weighting within RegionGlobal (eyeball
+// populations) instead of the flattened server weighting.
+func regionWeight(region Region, spec CountrySpec, linear bool) float64 {
+	switch region {
+	case RegionEurope:
+		switch spec.Code {
+		case "DE":
+			return 45
+		case "GB":
+			return 14
+		case "ES":
+			return 12
+		case "NL":
+			return 10
+		case "PL":
+			return 9
+		case "FR", "IT":
+			return 8
+		case "SE", "CH":
+			return 3
+		default:
+			return 0.5
+		}
+	case RegionAsia:
+		switch spec.Code {
+		case "IN":
+			return 85
+		case "JP":
+			return 9
+		case "CN":
+			return 12
+		case "VN", "TH", "KR":
+			return 3
+		default:
+			return 0.5
+		}
+	case RegionAmericas:
+		switch spec.Code {
+		case "US":
+			return 65
+		case "BR":
+			return 30
+		case "CA", "MX":
+			return 5
+		default:
+			return 0.5
+		}
+	default: // RegionGlobal
+		w := spec.ClientPop
+		if w < 1 {
+			w = 1
+		}
+		if linear {
+			return w
+		}
+		// Sub-linear so content-heavy western countries are not
+		// drowned out by India's client mass.
+		return sqrtish(w)
+	}
+}
+
+func sqrtish(v float64) float64 {
+	// Cheap x^0.6 approximation via two multiplications of x^0.5 and
+	// x^0.1 is overkill; plain square root reads better and the exact
+	// exponent is immaterial.
+	s := 1.0
+	for v > 1 {
+		v /= 4
+		s *= 2
+	}
+	return s * (1 + v) / 2
+}
+
+// pickAS selects an AS of the wanted type in the country, Zipf-weighted
+// so a few ASes dominate (as in real markets).
+func (w *World) pickAS(c *Country, typ asn.Type, pr *rng.Stream) *AS {
+	var lst []*AS
+	switch typ {
+	case asn.TypeCableDSLISP:
+		lst = c.Eyeball
+	case asn.TypeContent:
+		lst = c.Content
+	case asn.TypeNSP:
+		lst = c.NSP
+	default:
+		lst = c.Entpr
+	}
+	if len(lst) == 0 {
+		lst = c.Eyeball
+	}
+	return lst[pr.Zipf(len(lst), 1.15)]
+}
+
+// indexDevices builds the per-country sync-sampling tables over the
+// address-only population. Responsive NTP devices are excluded here:
+// because DeviceScale and AddrScale differ, volume-sampling them would
+// grossly overweight their share of the captured address mass. The
+// collection driver captures them through a dedicated channel instead
+// (see core).
+func (w *World) indexDevices() {
+	for _, d := range w.Devices {
+		if !d.Profile.NTPClient || d.role != RoleAddrOnly {
+			continue
+		}
+		w.byCountry[d.Country] = append(w.byCountry[d.Country], d)
+	}
+	for code, devs := range w.byCountry {
+		cum := make([]float64, len(devs))
+		total := 0.0
+		for i, d := range devs {
+			total += d.Profile.SyncWeight
+			cum[i] = total
+		}
+		w.cumSync[code] = cum
+		w.syncMass[code] = total
+	}
+}
+
+// SyncMass returns the total sync weight of NTP clients in a country —
+// the expected relative capture volume for a vantage server there.
+func (w *World) SyncMass(country string) float64 { return w.syncMass[country] }
+
+// NTPClients returns the NTP-client devices in a country.
+func (w *World) NTPClients(country string) []*Device { return w.byCountry[country] }

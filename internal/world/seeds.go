@@ -1,0 +1,82 @@
+package world
+
+import (
+	"net/netip"
+
+	"ntpscan/internal/ipv6x"
+	"ntpscan/internal/rng"
+)
+
+// SeedCandidate is one address the hitlist's DNS/CT/traceroute-style
+// sources would surface, with the source kind for diagnostics.
+type SeedCandidate struct {
+	Addr   netip.Addr
+	Source string // "dns", "ct", "traceroute", "alias"
+	Device *Device
+}
+
+// HitlistSeeds enumerates the device-backed seed candidates as of the
+// world clock's current time:
+//
+//   - hitlist-only deployments (servers, infrastructure, CDN edges) are
+//     always visible — that is what defines them;
+//   - responsive NTP devices appear with their profile's DNSVisible
+//     probability (MyFRITZ dyndns names, server DNS records). Dynamic
+//     devices contribute their *current* address — dyndns entries track
+//     renumbering, which is how consumer CPE ends up scannable from a
+//     hitlist at all.
+//
+// Reachable seed devices are registered on the fabric at the returned
+// address. The hitlist builder adds aliased CDN expansion and the
+// synthetic stale mass on top of these.
+func (w *World) HitlistSeeds(r *rng.Stream) []SeedCandidate {
+	now := w.clock.Now()
+	var out []SeedCandidate
+	for _, d := range w.Devices {
+		switch d.role {
+		case RoleHitlistOnly:
+			src := "dns"
+			if d.Profile.Name == "core-router" {
+				src = "traceroute"
+			}
+			out = append(out, SeedCandidate{Addr: w.CurrentAddr(d, now), Source: src, Device: d})
+		case RoleResponsive:
+			if d.Profile.DNSVisible > 0 && r.Bool(d.Profile.DNSVisible) {
+				out = append(out, SeedCandidate{Addr: w.CurrentAddr(d, now), Source: "dns", Device: d})
+			}
+		}
+	}
+	return out
+}
+
+// AliasAddrs returns n sample addresses in the device's /64 and binds
+// the device's host to the whole /64 — the aliased-prefix behaviour of
+// CDN front ends, where every address in the block answers.
+func (w *World) AliasAddrs(d *Device, n int) []netip.Addr {
+	base := w.AddrAt(d, 0)
+	hi, _ := ipv6x.Parts(base)
+	if d.host != nil {
+		w.fabric.RegisterPrefix(netip.PrefixFrom(base, 64), d.host)
+	}
+	h := rng.New(w.Cfg.Seed ^ 0xa11a5 ^ uint64(d.ID))
+	out := make([]netip.Addr, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ipv6x.FromParts(hi, h.Uint64()))
+	}
+	return out
+}
+
+// RandomUnroutedAddr synthesises an address inside a random announced AS
+// that no host occupies — the stale-DNS mass that makes the full hitlist
+// two orders of magnitude larger than its responsive subset.
+func (w *World) RandomUnroutedAddr(r *rng.Stream) netip.Addr {
+	c := w.Countries[r.Intn(len(w.Countries))]
+	lists := [][]*AS{c.Eyeball, c.Content, c.NSP, c.Entpr}
+	lst := lists[r.Intn(len(lists))]
+	if len(lst) == 0 {
+		lst = c.Content
+	}
+	a := lst[r.Intn(len(lst))]
+	hi := uint64(a.Hi32)<<32 | r.Uint64n(uint64(a.Cust48Pool))<<16 | r.Uint64n(256)
+	return ipv6x.FromParts(hi, r.Uint64())
+}

@@ -1,0 +1,195 @@
+package world
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"ntpscan/internal/netsim"
+	"ntpscan/internal/proto/amqpx"
+	"ntpscan/internal/proto/coapx"
+	"ntpscan/internal/proto/httpx"
+	"ntpscan/internal/proto/mqttx"
+	"ntpscan/internal/proto/sshx"
+	"ntpscan/internal/rng"
+	"ntpscan/internal/tlsx"
+)
+
+// Well-known ports the scan modules probe (the paper's §4.1 list).
+const (
+	PortHTTP  = 80
+	PortHTTPS = 443
+	PortSSH   = 22
+	PortMQTT  = 1883
+	PortMQTTS = 8883
+	PortAMQP  = 5672
+	PortAMQPS = 5671
+	PortCoAP  = 5683
+)
+
+// Certificate returns the device's TLS certificate. Devices sharing a
+// reuse-pool key present bit-identical certificates (the container-image
+// pathology of §6); all others carry unique serials.
+func (w *World) Certificate(d *Device) *tlsx.Certificate {
+	p := d.Profile
+	subject := certSubject(d)
+	serial := d.CertSerial
+	if d.KeySlot >= 0 {
+		// Reused identity: the cert is baked into the image.
+		serial = uint64(d.KeySlot)*0x100000001b3 + 0xcafe
+		subject = fmt.Sprintf("%s.local", shortVendor(p.Name))
+	}
+	issuer := subject
+	if !p.SelfSigned {
+		issuer = "R11 Intermediate CA"
+	}
+	// Validity derived from the serial so identical certs agree.
+	nb := w.Cfg.Start.Add(-time.Duration(serial%720) * 24 * time.Hour)
+	return &tlsx.Certificate{
+		Subject:    subject,
+		Issuer:     issuer,
+		SerialNum:  serial,
+		NotBefore:  nb,
+		NotAfter:   nb.Add(825 * 24 * time.Hour),
+		SelfSigned: p.SelfSigned,
+		Key:        tlsx.KeyID(d.KeyID),
+	}
+}
+
+func certSubject(d *Device) string {
+	switch d.Profile.Name {
+	case "fritzbox", "fritz-repeater", "fritz-powerline":
+		return fmt.Sprintf("fritz-%x.myfritz.net", uint32(d.CertSerial))
+	default:
+		return fmt.Sprintf("host-%x.%s.example", uint32(d.CertSerial), shortVendor(d.Profile.Name))
+	}
+}
+
+// HostKey returns the device's SSH host key.
+func (w *World) HostKey(d *Device) sshx.HostKey {
+	return sshx.HostKey{Type: "ssh-ed25519", Blob: d.KeyID[:]}
+}
+
+// SSHServerID renders the device's identification string, appending its
+// patch revision for Debian-style banners.
+func (w *World) SSHServerID(d *Device) string {
+	s := d.Profile.SSH
+	if s == nil {
+		return ""
+	}
+	if s.NoPatch {
+		return s.IDBase
+	}
+	return fmt.Sprintf("%s%d", s.IDBase, d.PatchRev)
+}
+
+// PageTitle returns the device's HTML title.
+func (w *World) PageTitle(d *Device) string {
+	p := d.Profile
+	if len(p.TitleChoices) > 0 {
+		r := rng.New(w.Cfg.Seed ^ 0x7469746c65 ^ uint64(d.ID))
+		weights := make([]float64, len(p.TitleChoices))
+		for i, t := range p.TitleChoices {
+			weights[i] = t.W
+		}
+		t := p.TitleChoices[r.WeightedIndex(weights)].Title
+		if t == "unique" {
+			return fmt.Sprintf("site-%08x and friends", uint32(d.CertSerial))
+		}
+		return t
+	}
+	if p.TitleNoise {
+		// Model-number variants stay within the 0.25 Levenshtein
+		// threshold of each other, so they cluster into one group.
+		models := []string{"7590", "7490", "7530", "6660", "5590", "7583"}
+		r := rng.New(w.Cfg.Seed ^ 0x7469746c65 ^ uint64(d.ID))
+		return fmt.Sprintf("%s %s", p.HTTPTitle, models[r.Intn(len(models))])
+	}
+	return p.HTTPTitle
+}
+
+// buildHost assembles the netsim host for a reachable device.
+func (w *World) buildHost(d *Device) *netsim.Host {
+	p := d.Profile
+	h := netsim.NewHost(p.Name)
+	h.Filtered = p.Filtered
+
+	httpOpts := httpx.ServerOptions{
+		Title:          w.PageTitle(d),
+		StatusCode:     p.HTTPStatus,
+		RequireHost:    p.RequireHost,
+		HostErrorTitle: p.HostErrTitle,
+		ServerHeader:   serverHeader(p),
+	}
+	cert := w.Certificate(d)
+	tlsCfg := tlsx.ServerConfig{Certificate: cert, RequireSNI: p.RequireSNI}
+
+	if p.HasService(SvcHTTP) {
+		h.HandleTCP(PortHTTP, httpx.Handler(httpOpts))
+	}
+	if p.HasService(SvcHTTPS) && (d.TLSEnabled || p.RequireSNI) {
+		h.HandleTCP(PortHTTPS, wrapTLS(tlsCfg, func(conn net.Conn) {
+			httpx.ServeConn(conn, httpOpts)
+		}))
+	}
+	if p.HasService(SvcSSH) {
+		sshOpts := sshx.ServerOptions{ID: w.SSHServerID(d), HostKey: w.HostKey(d)}
+		h.HandleTCP(PortSSH, func(conn net.Conn) { sshx.ServeConn(conn, sshOpts) })
+	}
+	if p.HasService(SvcMQTT) {
+		broker := mqttx.BrokerOptions{RequireAuth: d.AuthOn}
+		h.HandleTCP(PortMQTT, mqttx.Handler(broker))
+		if p.HasService(SvcMQTTS) && d.TLSEnabled {
+			h.HandleTCP(PortMQTTS, wrapTLS(tlsCfg, func(conn net.Conn) {
+				mqttx.ServeConn(conn, broker)
+			}))
+		}
+	}
+	if p.HasService(SvcAMQP) {
+		broker := amqpx.BrokerOptions{Product: "RabbitMQ", RequireAuth: d.AuthOn}
+		h.HandleTCP(PortAMQP, amqpx.Handler(broker))
+		if p.HasService(SvcAMQPS) && d.TLSEnabled {
+			h.HandleTCP(PortAMQPS, wrapTLS(tlsCfg, func(conn net.Conn) {
+				amqpx.ServeConn(conn, broker)
+			}))
+		}
+	}
+	if p.HasService(SvcCoAP) {
+		h.HandleUDP(PortCoAP, coapx.Handler(coapx.DeviceOptions{Resources: p.CoAPResources}))
+	}
+	return h
+}
+
+// emptyHost is a routed machine with all ports closed (core routers).
+func (w *World) emptyHost(d *Device) *netsim.Host {
+	h := netsim.NewHost(d.Profile.Name)
+	h.Filtered = d.Profile.Filtered
+	return h
+}
+
+// wrapTLS runs the tlsx server handshake and hands the wrapped stream to
+// next; handshake failures close the connection (the scanner observes
+// the alert).
+func wrapTLS(cfg tlsx.ServerConfig, next func(net.Conn)) netsim.StreamHandler {
+	return func(conn net.Conn) {
+		tc, err := tlsx.Server(conn, cfg)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		next(tc)
+	}
+}
+
+func serverHeader(p *Profile) string {
+	switch {
+	case p.Name == "fritzbox" || p.Name == "fritz-repeater" || p.Name == "fritz-powerline":
+		return ""
+	case p.Name == "cdn-edge":
+		return "CloudFront"
+	case p.Name == "generic-web":
+		return "nginx"
+	default:
+		return ""
+	}
+}

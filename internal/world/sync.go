@@ -1,0 +1,75 @@
+package world
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"ntpscan/internal/rng"
+)
+
+// SampleClient draws one NTP client from a country's syncing population,
+// weighted by per-profile sync frequency. It returns nil when the
+// country has no NTP clients.
+func (w *World) SampleClient(country string, r *rng.Stream) *Device {
+	devs := w.byCountry[country]
+	if len(devs) == 0 {
+		return nil
+	}
+	cum := w.cumSync[country]
+	target := r.Float64() * cum[len(cum)-1]
+	idx := sort.SearchFloat64s(cum, target)
+	if idx >= len(devs) {
+		idx = len(devs) - 1
+	}
+	return devs[idx]
+}
+
+// ResponsiveNTP returns every scan-reachable NTP-client device — the
+// population whose capture the collection driver guarantees (their sync
+// cadence over four weeks makes at least one hit on a vantage server
+// overwhelmingly likely; see DESIGN.md).
+func (w *World) ResponsiveNTP() []*Device {
+	var out []*Device
+	for _, d := range w.Devices {
+		if d.role == RoleResponsive && d.Profile.NTPClient {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// VantageCountries returns the codes of countries hosting our capture
+// servers, in spec order.
+func (w *World) VantageCountries() []string {
+	var out []string
+	for _, c := range w.Countries {
+		if c.Spec.Vantage {
+			out = append(out, c.Spec.Code)
+		}
+	}
+	return out
+}
+
+// Country returns the generated country by code.
+func (w *World) Country(code string) (*Country, bool) {
+	for _, c := range w.Countries {
+		if c.Spec.Code == code {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// AddrsDuring enumerates the distinct addresses a device holds across
+// the window [start, start+dur), in epoch order. Used by tests and the
+// R&L-era comparison run.
+func (w *World) AddrsDuring(d *Device, start time.Time, dur time.Duration) []netip.Addr {
+	first := d.EpochAt(start, w.Cfg.Start)
+	last := d.EpochAt(start.Add(dur-time.Nanosecond), w.Cfg.Start)
+	var out []netip.Addr
+	for e := first; e <= last; e++ {
+		out = append(out, w.AddrAt(d, e))
+	}
+	return out
+}

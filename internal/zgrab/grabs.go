@@ -1,0 +1,144 @@
+// Package zgrab is the application-layer scan framework, modelled on
+// zgrab2 (which the paper extended): pluggable per-protocol modules, a
+// token-bucket rate limiter capped at the paper's 100 kpps, revisit
+// suppression (no re-scan of an address for three days), a worker pool
+// fed in real time by the NTP capture stream, and a JSONL result
+// envelope.
+package zgrab
+
+import (
+	"encoding/json"
+	"io"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Status classifies a scan attempt's outcome, following zgrab2's status
+// vocabulary.
+type Status string
+
+// Scan statuses.
+const (
+	StatusSuccess       Status = "success"
+	StatusTimeout       Status = "connection-timeout"
+	StatusRefused       Status = "connection-refused"
+	StatusProtocolError Status = "protocol-error"
+	StatusTLSError      Status = "tls-error"
+	StatusIOError       Status = "io-error"
+)
+
+// Result is one module's grab of one address.
+type Result struct {
+	IP     netip.Addr `json:"ip"`
+	Module string     `json:"module"`
+	Port   uint16     `json:"port"`
+	Time   time.Time  `json:"time"`
+	Status Status     `json:"status"`
+	Error  string     `json:"error,omitempty"`
+
+	HTTP *HTTPGrab `json:"http,omitempty"`
+	TLS  *TLSGrab  `json:"tls,omitempty"`
+	SSH  *SSHGrab  `json:"ssh,omitempty"`
+	MQTT *MQTTGrab `json:"mqtt,omitempty"`
+	AMQP *AMQPGrab `json:"amqp,omitempty"`
+	CoAP *CoAPGrab `json:"coap,omitempty"`
+}
+
+// Success reports whether the grab reached a speaking endpoint.
+func (r *Result) Success() bool { return r.Status == StatusSuccess }
+
+// HTTPGrab carries the HTTP response surface the analysis consumes.
+type HTTPGrab struct {
+	StatusCode int    `json:"status_code"`
+	Title      string `json:"title"`
+	Server     string `json:"server,omitempty"`
+}
+
+// TLSGrab carries handshake results.
+type TLSGrab struct {
+	Version         string    `json:"version,omitempty"`
+	HandshakeOK     bool      `json:"handshake_ok"`
+	Alert           string    `json:"alert,omitempty"`
+	CertFingerprint string    `json:"cert_fingerprint,omitempty"`
+	Subject         string    `json:"subject,omitempty"`
+	Issuer          string    `json:"issuer,omitempty"`
+	SelfSigned      bool      `json:"self_signed,omitempty"`
+	KeyID           string    `json:"key_id,omitempty"`
+	NotBefore       time.Time `json:"not_before,omitempty"`
+	NotAfter        time.Time `json:"not_after,omitempty"`
+}
+
+// SSHGrab carries the identification string and host key.
+type SSHGrab struct {
+	ServerID       string `json:"server_id"`
+	Software       string `json:"software"`
+	OS             string `json:"os,omitempty"`
+	KeyType        string `json:"key_type,omitempty"`
+	KeyFingerprint string `json:"key_fingerprint,omitempty"`
+}
+
+// MQTTGrab carries broker negotiation results.
+type MQTTGrab struct {
+	ReturnCode byte `json:"return_code"`
+	Open       bool `json:"open"`
+}
+
+// AMQPGrab carries broker negotiation results.
+type AMQPGrab struct {
+	Product    string `json:"product,omitempty"`
+	Mechanisms string `json:"mechanisms,omitempty"`
+	Open       bool   `json:"open"`
+	CloseCode  uint16 `json:"close_code,omitempty"`
+}
+
+// CoAPGrab carries discovery results.
+type CoAPGrab struct {
+	Code      string   `json:"code"`
+	Resources []string `json:"resources,omitempty"`
+}
+
+// JSONLWriter serialises results as one JSON object per line, the
+// zgrab2 output format. It is safe for concurrent use.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: w, enc: json.NewEncoder(w)}
+}
+
+// Write emits one result line.
+func (jw *JSONLWriter) Write(r *Result) error {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	jw.n++
+	return jw.enc.Encode(r)
+}
+
+// Count returns how many results were written.
+func (jw *JSONLWriter) Count() int {
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	return jw.n
+}
+
+// ReadJSONL parses results back from a JSONL stream.
+func ReadJSONL(r io.Reader) ([]*Result, error) {
+	dec := json.NewDecoder(r)
+	var out []*Result
+	for {
+		res := &Result{}
+		if err := dec.Decode(res); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		out = append(out, res)
+	}
+}

@@ -1,0 +1,398 @@
+package zgrab
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"syscall"
+	"time"
+
+	"ntpscan/internal/netsim"
+	"ntpscan/internal/proto/amqpx"
+	"ntpscan/internal/proto/coapx"
+	"ntpscan/internal/proto/httpx"
+	"ntpscan/internal/proto/mqttx"
+	"ntpscan/internal/proto/sshx"
+	"ntpscan/internal/tlsx"
+)
+
+// Module is one protocol scanner. Implementations must be safe for
+// concurrent use.
+type Module interface {
+	// Name is the module identifier ("http", "mqtts", ...).
+	Name() string
+	// Port is the IANA port the module probes.
+	Port() uint16
+	// Scan grabs one target. env supplies fabric, source address, and
+	// timeouts. The returned result always carries Status; a nil error
+	// with non-success status is normal (closed port etc.).
+	Scan(ctx context.Context, env *Env, target netip.Addr) *Result
+}
+
+// Env is the scan environment shared by modules.
+type Env struct {
+	// Net is the transport: SimNet for experiments, RealNet for actual
+	// networks.
+	Net     Net
+	Source  netip.Addr
+	Clock   netsim.Clock
+	Timeout time.Duration
+	// UDPTimeout bounds connectionless probes (CoAP), which have no
+	// refused/timeout distinction and otherwise wait out the full
+	// Timeout on every silent address. Zero means Timeout.
+	UDPTimeout time.Duration
+	// PortOverrides redirects a module (by name) to a non-IANA port —
+	// zgrab2's --port, needed for unprivileged real-socket targets.
+	PortOverrides map[string]uint16
+}
+
+func (e *Env) udpTimeout() time.Duration {
+	if e.UDPTimeout > 0 {
+		return e.UDPTimeout
+	}
+	return e.Timeout
+}
+
+// portFor resolves the effective target port for a module.
+func (e *Env) portFor(m Module) uint16 {
+	if p, ok := e.PortOverrides[m.Name()]; ok {
+		return p
+	}
+	return m.Port()
+}
+
+// now stamps results from the experiment clock.
+func (e *Env) now() time.Time { return e.Clock.Now() }
+
+// dial opens a TCP connection with the module timeout applied both to
+// the dial and as the connection deadline.
+func (e *Env) dial(ctx context.Context, target netip.Addr, port uint16) (net.Conn, Status, string) {
+	dctx, cancel := context.WithTimeout(ctx, e.Timeout)
+	defer cancel()
+	conn, err := e.Net.DialTCP(dctx, e.Source, netip.AddrPortFrom(target, port))
+	if err != nil {
+		if errors.Is(err, netsim.ErrConnRefused) || errors.Is(err, syscall.ECONNREFUSED) {
+			return nil, StatusRefused, err.Error()
+		}
+		return nil, StatusTimeout, err.Error()
+	}
+	conn.SetDeadline(time.Now().Add(e.Timeout))
+	return conn, StatusSuccess, ""
+}
+
+// AllModules returns the paper's module set: HTTP, SSH, AMQP, MQTT and
+// CoAP on their IANA ports, plus the TLS variants of HTTP, AMQP and
+// MQTT (§4.1).
+func AllModules() []Module {
+	return []Module{
+		&HTTPModule{},
+		&HTTPModule{TLS: true},
+		&SSHModule{},
+		&MQTTModule{},
+		&MQTTModule{TLS: true},
+		&AMQPModule{},
+		&AMQPModule{TLS: true},
+		&CoAPModule{},
+	}
+}
+
+// ModulesByName resolves module names ("http", "mqtts", ...) to
+// instances, preserving order. Unknown names are an error.
+func ModulesByName(names []string) ([]Module, error) {
+	all := AllModules()
+	byName := make(map[string]Module, len(all))
+	for _, m := range all {
+		byName[m.Name()] = m
+	}
+	out := make([]Module, 0, len(names))
+	for _, n := range names {
+		m, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("zgrab: unknown module %q", n)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// tlsGrab converts a completed handshake state.
+func tlsGrab(st tlsx.ConnState) *TLSGrab {
+	cert := st.Certificate
+	return &TLSGrab{
+		Version:         st.Version.String(),
+		HandshakeOK:     true,
+		CertFingerprint: cert.FingerprintHex(),
+		Subject:         cert.Subject,
+		Issuer:          cert.Issuer,
+		SelfSigned:      cert.SelfSigned,
+		KeyID:           cert.Key.Hex(),
+		NotBefore:       cert.NotBefore,
+		NotAfter:        cert.NotAfter,
+	}
+}
+
+// tlsFail converts a handshake failure.
+func tlsFail(err error) *TLSGrab {
+	g := &TLSGrab{HandshakeOK: false}
+	var alert *tlsx.AlertError
+	if errors.As(err, &alert) {
+		g.Alert = alert.Reason.String()
+	}
+	return g
+}
+
+// HTTPModule grabs HTTP or HTTPS (mass scans probe address literals, so
+// no Host header and no SNI — the behaviour behind the paper's CDN
+// handshake failures).
+type HTTPModule struct {
+	TLS bool
+}
+
+// Name implements Module.
+func (m *HTTPModule) Name() string {
+	if m.TLS {
+		return "https"
+	}
+	return "http"
+}
+
+// Port implements Module.
+func (m *HTTPModule) Port() uint16 {
+	if m.TLS {
+		return 443
+	}
+	return 80
+}
+
+// Scan implements Module.
+func (m *HTTPModule) Scan(ctx context.Context, env *Env, target netip.Addr) *Result {
+	port := env.portFor(m)
+	res := &Result{IP: target, Module: m.Name(), Port: port, Time: env.now()}
+	conn, status, errStr := env.dial(ctx, target, port)
+	if status != StatusSuccess {
+		res.Status, res.Error = status, errStr
+		return res
+	}
+	defer conn.Close()
+
+	var appConn net.Conn = conn
+	if m.TLS {
+		tc, err := tlsx.Client(conn, tlsx.ClientConfig{}) // no SNI
+		if err != nil {
+			res.Status = StatusTLSError
+			res.Error = err.Error()
+			res.TLS = tlsFail(err)
+			return res
+		}
+		res.TLS = tlsGrab(tc.State())
+		appConn = tc
+	}
+	resp, err := httpx.Get(appConn, "", "/")
+	if err != nil {
+		res.Status = StatusProtocolError
+		res.Error = err.Error()
+		return res
+	}
+	res.Status = StatusSuccess
+	res.HTTP = &HTTPGrab{
+		StatusCode: resp.StatusCode,
+		Title:      resp.Title(),
+		Server:     resp.Header["Server"],
+	}
+	return res
+}
+
+// SSHModule grabs the identification string and host key.
+type SSHModule struct{}
+
+// Name implements Module.
+func (m *SSHModule) Name() string { return "ssh" }
+
+// Port implements Module.
+func (m *SSHModule) Port() uint16 { return 22 }
+
+// Scan implements Module.
+func (m *SSHModule) Scan(ctx context.Context, env *Env, target netip.Addr) *Result {
+	port := env.portFor(m)
+	res := &Result{IP: target, Module: m.Name(), Port: port, Time: env.now()}
+	conn, status, errStr := env.dial(ctx, target, port)
+	if status != StatusSuccess {
+		res.Status, res.Error = status, errStr
+		return res
+	}
+	defer conn.Close()
+	grab, err := sshx.Scan(conn)
+	if err != nil {
+		res.Status = StatusProtocolError
+		res.Error = err.Error()
+		return res
+	}
+	res.Status = StatusSuccess
+	res.SSH = &SSHGrab{
+		ServerID: grab.ID.Raw,
+		Software: grab.ID.Software,
+		OS:       grab.ID.OS(),
+	}
+	if grab.HostKey != nil {
+		res.SSH.KeyType = grab.HostKey.Type
+		res.SSH.KeyFingerprint = grab.HostKey.FingerprintHex()
+	}
+	return res
+}
+
+// MQTTModule grabs broker connection policy, optionally over TLS.
+type MQTTModule struct {
+	TLS bool
+}
+
+// Name implements Module.
+func (m *MQTTModule) Name() string {
+	if m.TLS {
+		return "mqtts"
+	}
+	return "mqtt"
+}
+
+// Port implements Module.
+func (m *MQTTModule) Port() uint16 {
+	if m.TLS {
+		return 8883
+	}
+	return 1883
+}
+
+// Scan implements Module.
+func (m *MQTTModule) Scan(ctx context.Context, env *Env, target netip.Addr) *Result {
+	port := env.portFor(m)
+	res := &Result{IP: target, Module: m.Name(), Port: port, Time: env.now()}
+	conn, status, errStr := env.dial(ctx, target, port)
+	if status != StatusSuccess {
+		res.Status, res.Error = status, errStr
+		return res
+	}
+	defer conn.Close()
+	var appConn net.Conn = conn
+	if m.TLS {
+		tc, err := tlsx.Client(conn, tlsx.ClientConfig{})
+		if err != nil {
+			res.Status = StatusTLSError
+			res.Error = err.Error()
+			res.TLS = tlsFail(err)
+			return res
+		}
+		res.TLS = tlsGrab(tc.State())
+		appConn = tc
+	}
+	grab, err := mqttx.Scan(appConn)
+	if err != nil {
+		res.Status = StatusProtocolError
+		res.Error = err.Error()
+		return res
+	}
+	res.Status = StatusSuccess
+	res.MQTT = &MQTTGrab{ReturnCode: grab.ReturnCode, Open: grab.Open}
+	return res
+}
+
+// AMQPModule grabs broker negotiation, optionally over TLS.
+type AMQPModule struct {
+	TLS bool
+}
+
+// Name implements Module.
+func (m *AMQPModule) Name() string {
+	if m.TLS {
+		return "amqps"
+	}
+	return "amqp"
+}
+
+// Port implements Module.
+func (m *AMQPModule) Port() uint16 {
+	if m.TLS {
+		return 5671
+	}
+	return 5672
+}
+
+// Scan implements Module.
+func (m *AMQPModule) Scan(ctx context.Context, env *Env, target netip.Addr) *Result {
+	port := env.portFor(m)
+	res := &Result{IP: target, Module: m.Name(), Port: port, Time: env.now()}
+	conn, status, errStr := env.dial(ctx, target, port)
+	if status != StatusSuccess {
+		res.Status, res.Error = status, errStr
+		return res
+	}
+	defer conn.Close()
+	var appConn net.Conn = conn
+	if m.TLS {
+		tc, err := tlsx.Client(conn, tlsx.ClientConfig{})
+		if err != nil {
+			res.Status = StatusTLSError
+			res.Error = err.Error()
+			res.TLS = tlsFail(err)
+			return res
+		}
+		res.TLS = tlsGrab(tc.State())
+		appConn = tc
+	}
+	grab, err := amqpx.Scan(appConn)
+	if err != nil {
+		res.Status = StatusProtocolError
+		res.Error = err.Error()
+		return res
+	}
+	res.Status = StatusSuccess
+	res.AMQP = &AMQPGrab{
+		Product:    grab.Start.Product,
+		Mechanisms: grab.Start.Mechanisms,
+		Open:       grab.Open,
+		CloseCode:  grab.CloseCode,
+	}
+	return res
+}
+
+// CoAPModule probes /.well-known/core over UDP.
+type CoAPModule struct{}
+
+// Name implements Module.
+func (m *CoAPModule) Name() string { return "coap" }
+
+// Port implements Module.
+func (m *CoAPModule) Port() uint16 { return coapx.Port }
+
+// Scan implements Module.
+func (m *CoAPModule) Scan(ctx context.Context, env *Env, target netip.Addr) *Result {
+	port := env.portFor(m)
+	res := &Result{IP: target, Module: m.Name(), Port: port, Time: env.now()}
+	sock, err := env.Net.ListenUDP(netip.AddrPortFrom(env.Source, 0))
+	if err != nil {
+		res.Status = StatusIOError
+		res.Error = err.Error()
+		return res
+	}
+	defer sock.Close()
+	mid := uint16(msgIDFor(target))
+	grab, err := coapx.ScanConn(sock, netip.AddrPortFrom(target, port), mid, env.udpTimeout())
+	if err != nil {
+		res.Status = StatusTimeout
+		res.Error = err.Error()
+		return res
+	}
+	res.Status = StatusSuccess
+	res.CoAP = &CoAPGrab{Code: grab.Code.String(), Resources: grab.Resources}
+	return res
+}
+
+// msgIDFor derives a stable CoAP message ID per target.
+func msgIDFor(a netip.Addr) uint16 {
+	b := a.As16()
+	var h uint32 = 2166136261
+	for _, x := range b {
+		h = (h ^ uint32(x)) * 16777619
+	}
+	return uint16(h)
+}

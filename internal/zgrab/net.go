@@ -1,0 +1,98 @@
+package zgrab
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"time"
+
+	"ntpscan/internal/netsim"
+	"ntpscan/internal/proto/coapx"
+)
+
+// Net is the transport surface scan modules run over. Two
+// implementations exist: SimNet (the netsim fabric, for mass
+// experiments) and RealNet (kernel sockets, for scanning actual
+// networks — the zgrab2 deployment mode).
+type Net interface {
+	// DialTCP opens a stream to dst. src is advisory: the fabric
+	// honours it, kernel sockets pick their own source address.
+	DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPort) (net.Conn, error)
+	// ListenUDP binds a datagram socket for connectionless probes.
+	// local is advisory for RealNet (wildcard bind).
+	ListenUDP(local netip.AddrPort) (coapx.PacketSocket, error)
+}
+
+// SimNet adapts a netsim fabric to the Net interface.
+func SimNet(f *netsim.Network) Net { return simNet{f: f} }
+
+type simNet struct{ f *netsim.Network }
+
+func (s simNet) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPort) (net.Conn, error) {
+	return s.f.DialTCP(ctx, src, dst)
+}
+
+func (s simNet) ListenUDP(local netip.AddrPort) (coapx.PacketSocket, error) {
+	return s.f.ListenUDP(local)
+}
+
+// RealNet scans actual networks through the kernel's stack. The ethics
+// machinery around the scanner (rate limiting, revisit suppression,
+// identifying source) applies unchanged; see the paper's Appendix A
+// before pointing it anywhere you do not operate.
+type RealNet struct {
+	// Dialer configures TCP dialing (timeouts come from the module
+	// environment's contexts).
+	Dialer net.Dialer
+}
+
+// NewRealNet returns a kernel-socket transport.
+func NewRealNet() *RealNet { return &RealNet{} }
+
+// DialTCP implements Net.
+func (r *RealNet) DialTCP(ctx context.Context, _ netip.Addr, dst netip.AddrPort) (net.Conn, error) {
+	return r.Dialer.DialContext(ctx, "tcp", dst.String())
+}
+
+// ListenUDP implements Net: a wildcard-bound kernel socket (the local
+// hint's address family selects v4/v6 wildcard).
+func (r *RealNet) ListenUDP(local netip.AddrPort) (coapx.PacketSocket, error) {
+	network := "udp6"
+	if local.Addr().Is4() || local.Addr().Is4In6() {
+		network = "udp4"
+	}
+	pc, err := net.ListenPacket(network, ":0")
+	if err != nil {
+		// Fall back to the unconstrained family (v6-only or v4-only
+		// hosts).
+		pc, err = net.ListenPacket("udp", ":0")
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &realSocket{pc: pc}, nil
+}
+
+// realSocket adapts net.PacketConn to coapx.PacketSocket.
+type realSocket struct {
+	pc net.PacketConn
+}
+
+func (s *realSocket) WriteTo(p []byte, dst netip.AddrPort) (int, error) {
+	return s.pc.WriteTo(p, net.UDPAddrFromAddrPort(dst))
+}
+
+func (s *realSocket) ReadFrom(p []byte) (int, netip.AddrPort, error) {
+	n, addr, err := s.pc.ReadFrom(p)
+	if err != nil {
+		return 0, netip.AddrPort{}, err
+	}
+	if ua, ok := addr.(*net.UDPAddr); ok {
+		return n, ua.AddrPort(), nil
+	}
+	return n, netip.AddrPort{}, nil
+}
+
+func (s *realSocket) SetReadDeadline(t time.Time) error { return s.pc.SetReadDeadline(t) }
+
+func (s *realSocket) Close() error { return s.pc.Close() }

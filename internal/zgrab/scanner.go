@@ -1,0 +1,280 @@
+package zgrab
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ntpscan/internal/netsim"
+)
+
+// Limiter bounds the probe rate. Wait blocks until the caller may send
+// one probe.
+type Limiter interface {
+	Wait(ctx context.Context) error
+}
+
+// TokenBucket is a real-time token-bucket limiter. The paper caps scans
+// at 100 000 packets per second (Appendix A.2.1).
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a limiter emitting rate tokens/second with the
+// given burst.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// Wait implements Limiter.
+func (tb *TokenBucket) Wait(ctx context.Context) error {
+	for {
+		tb.mu.Lock()
+		now := time.Now()
+		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+		tb.last = now
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+		if tb.tokens >= 1 {
+			tb.tokens--
+			tb.mu.Unlock()
+			return nil
+		}
+		need := (1 - tb.tokens) / tb.rate
+		tb.mu.Unlock()
+		t := time.NewTimer(time.Duration(need * float64(time.Second)))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// NopLimiter never blocks; mass simulations run on logical time where
+// the 100 kpps budget is accounted for analytically instead.
+type NopLimiter struct{ n atomic.Int64 }
+
+// Wait implements Limiter.
+func (l *NopLimiter) Wait(context.Context) error {
+	l.n.Add(1)
+	return nil
+}
+
+// Count returns how many probes passed.
+func (l *NopLimiter) Count() int64 { return l.n.Load() }
+
+// Revisit suppresses re-scans of recently scanned addresses: the paper
+// refrains from re-scanning an address for three days (Appendix A.2.1).
+type Revisit struct {
+	mu    sync.Mutex
+	last  map[netip.Addr]time.Time
+	after time.Duration
+}
+
+// NewRevisit returns a suppressor with the given re-scan holdoff.
+func NewRevisit(after time.Duration) *Revisit {
+	return &Revisit{last: make(map[netip.Addr]time.Time), after: after}
+}
+
+// Allow reports whether addr may be scanned at now, and records the scan
+// if so.
+func (rv *Revisit) Allow(addr netip.Addr, now time.Time) bool {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	if t, seen := rv.last[addr]; seen && now.Sub(t) < rv.after {
+		return false
+	}
+	rv.last[addr] = now
+	return true
+}
+
+// Len returns how many addresses are tracked.
+func (rv *Revisit) Len() int {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	return len(rv.last)
+}
+
+// Config assembles a scanner.
+type Config struct {
+	// Fabric selects the simulation transport; leave nil and set Net
+	// for real-socket scanning.
+	Fabric *netsim.Network
+	// Net overrides the transport (e.g. NewRealNet()). Defaults to
+	// SimNet(Fabric).
+	Net Net
+	// Clock stamps results (the experiment's logical clock for mass
+	// runs). Defaults to the fabric clock.
+	Clock netsim.Clock
+	// Source is the scanner's source address. The paper's scan hosts
+	// carry identifying rDNS and web pages; in the simulation the
+	// source address identifies us to the telescope.
+	Source netip.Addr
+	// Modules defaults to AllModules().
+	Modules []Module
+	// Timeout per connection attempt (default 500 ms).
+	Timeout time.Duration
+	// UDPTimeout bounds connectionless probes; zero means Timeout.
+	UDPTimeout time.Duration
+	// Workers in the scan pool (default 32).
+	Workers int
+	// Limiter defaults to NopLimiter.
+	Limiter Limiter
+	// RevisitAfter defaults to 72 h (logical).
+	RevisitAfter time.Duration
+	// PortOverrides redirects modules (by name) to non-IANA ports.
+	PortOverrides map[string]uint16
+	// InterProtocolDelay spaces one target's modules apart on the
+	// logical timeline (the paper waits 10 s – 10 min between protocols
+	// to spare low-powered devices, Appendix A.2.1). The fabric is
+	// latency-free, so the delay is recorded in each result's schedule
+	// stamp rather than slept.
+	InterProtocolDelay time.Duration
+	// OnResult receives every grab; it is called from worker
+	// goroutines and must be safe for concurrent use.
+	OnResult func(*Result)
+}
+
+// Scanner is the zgrab2-style runtime: submit addresses, modules fan
+// out, results stream to OnResult.
+type Scanner struct {
+	cfg     Config
+	env     *Env
+	revisit *Revisit
+
+	queue   chan netip.Addr
+	wg      sync.WaitGroup
+	started bool
+
+	submitted  atomic.Int64
+	scanned    atomic.Int64
+	probes     atomic.Int64
+	suppressed atomic.Int64
+}
+
+// NewScanner validates cfg and builds a scanner.
+func NewScanner(cfg Config) *Scanner {
+	if cfg.Net == nil {
+		cfg.Net = SimNet(cfg.Fabric)
+	}
+	if cfg.Clock == nil {
+		if cfg.Fabric != nil {
+			cfg.Clock = cfg.Fabric.Clock()
+		} else {
+			cfg.Clock = netsim.RealClock{}
+		}
+	}
+	if len(cfg.Modules) == 0 {
+		cfg.Modules = AllModules()
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 32
+	}
+	if cfg.Limiter == nil {
+		cfg.Limiter = &NopLimiter{}
+	}
+	if cfg.RevisitAfter <= 0 {
+		cfg.RevisitAfter = 72 * time.Hour
+	}
+	return &Scanner{
+		cfg: cfg,
+		env: &Env{
+			Net: cfg.Net, Source: cfg.Source, Clock: cfg.Clock,
+			Timeout: cfg.Timeout, UDPTimeout: cfg.UDPTimeout,
+			PortOverrides: cfg.PortOverrides,
+		},
+		revisit: NewRevisit(cfg.RevisitAfter),
+		queue:   make(chan netip.Addr, 4096),
+	}
+}
+
+// Start launches the worker pool.
+func (s *Scanner) Start(ctx context.Context) {
+	if s.started {
+		panic("zgrab: Scanner started twice")
+	}
+	s.started = true
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for addr := range s.queue {
+				s.scanOne(ctx, addr)
+			}
+		}()
+	}
+}
+
+// Submit enqueues one target, honouring revisit suppression. It reports
+// whether the address was accepted. Submit blocks when the queue is
+// full (backpressure onto the capture feed).
+func (s *Scanner) Submit(addr netip.Addr) bool {
+	s.submitted.Add(1)
+	if !s.revisit.Allow(addr, s.cfg.Clock.Now()) {
+		s.suppressed.Add(1)
+		return false
+	}
+	s.queue <- addr
+	return true
+}
+
+// ScanNow scans one address synchronously with all modules, bypassing
+// the queue (used by tests and the batch hitlist run's driver).
+func (s *Scanner) ScanNow(ctx context.Context, addr netip.Addr) []*Result {
+	out := make([]*Result, 0, len(s.cfg.Modules))
+	for _, m := range s.cfg.Modules {
+		if err := s.cfg.Limiter.Wait(ctx); err != nil {
+			return out
+		}
+		s.probes.Add(1)
+		r := m.Scan(ctx, s.env, addr)
+		out = append(out, r)
+		if s.cfg.OnResult != nil {
+			s.cfg.OnResult(r)
+		}
+	}
+	s.scanned.Add(1)
+	return out
+}
+
+func (s *Scanner) scanOne(ctx context.Context, addr netip.Addr) {
+	for i, m := range s.cfg.Modules {
+		if err := s.cfg.Limiter.Wait(ctx); err != nil {
+			return
+		}
+		s.probes.Add(1)
+		r := m.Scan(ctx, s.env, addr)
+		if s.cfg.InterProtocolDelay > 0 {
+			r.Time = r.Time.Add(time.Duration(i) * s.cfg.InterProtocolDelay)
+		}
+		if s.cfg.OnResult != nil {
+			s.cfg.OnResult(r)
+		}
+	}
+	s.scanned.Add(1)
+}
+
+// Close drains the queue and stops the workers. The scanner cannot be
+// restarted.
+func (s *Scanner) Close() {
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Stats returns submitted, scanned, suppressed target counts and the
+// total probe count.
+func (s *Scanner) Stats() (submitted, scanned, suppressed, probes int64) {
+	return s.submitted.Load(), s.scanned.Load(), s.suppressed.Load(), s.probes.Load()
+}

@@ -1,0 +1,88 @@
+// Package ntpscan is a from-scratch reproduction of "Time To Scan:
+// Digging into NTP-based IPv6 Scanning" (IMC 2025): an NTP-Pool-based
+// IPv6 address-sourcing and application-layer scanning system, together
+// with the synthetic Internet substrate the experiments run on.
+//
+// The public API is a facade over the internal packages:
+//
+//   - Pipeline runs the paper's measurement campaign: deploy capture
+//     NTP servers into pool zones, collect client addresses for the
+//     four-week window, scan every address in real time with the
+//     zgrab2-style module set (HTTP(S), SSH, MQTT(S), AMQP(S), CoAP),
+//     build and scan a TUM-style hitlist for comparison, and analyse
+//     everything.
+//   - Suite reproduces every table and figure of the paper's
+//     evaluation from one campaign (see EXPERIMENTS.md).
+//   - DetectScanners runs the §5 telescope experiment that catches
+//     third parties using NTP-based sourcing.
+//
+// Quickstart:
+//
+//	s := ntpscan.RunExperiments(ntpscan.Options{Seed: 1})
+//	fmt.Print(s.All())
+//
+// Everything is deterministic in the seed and runs on a simulated IPv6
+// Internet (the measurement substrate the paper's vantage points and
+// wall-clock time provided); the protocol implementations additionally
+// work over real sockets — see examples/realsockets.
+package ntpscan
+
+import (
+	"ntpscan/internal/analysis"
+	"ntpscan/internal/core"
+	"ntpscan/internal/experiments"
+	"ntpscan/internal/hitlist"
+	"ntpscan/internal/world"
+)
+
+// Config tunes a measurement pipeline. The zero value (plus a Seed) is
+// a sensible default; see the field documentation on core.Config.
+type Config = core.Config
+
+// WorldConfig sizes the synthetic Internet population.
+type WorldConfig = world.Config
+
+// Pipeline is a deployed measurement campaign.
+type Pipeline = core.Pipeline
+
+// NewPipeline builds the world, deploys the vantage NTP servers into
+// the pool, and tunes their netspeed.
+func NewPipeline(cfg Config) *Pipeline { return core.NewPipeline(cfg) }
+
+// Dataset is one scan campaign's results with analysis indexes.
+type Dataset = analysis.Dataset
+
+// AnalysisContext carries the registries (AS, geolocation, IEEE OUI)
+// analyses resolve against.
+type AnalysisContext = analysis.Context
+
+// HitlistConfig tunes TUM-style hitlist construction.
+type HitlistConfig = hitlist.Config
+
+// Options sizes an experiment suite run.
+type Options = experiments.Options
+
+// Suite is one executed campaign with every table and figure derivable
+// from it.
+type Suite = experiments.Suite
+
+// RunExperiments executes the full campaign (collection, real-time NTP
+// scan, hitlist build and batch scan, R&L-era comparison) and returns
+// the suite for rendering individual tables or Suite.All.
+func RunExperiments(opts Options) *Suite { return experiments.Run(opts) }
+
+// CollectExperiments runs only the collection phases — enough for
+// Table 1, Figure 1, Table 4, Figure 4, and Table 7 — much faster than
+// RunExperiments.
+func CollectExperiments(opts Options) *Suite { return experiments.CollectOnly(opts) }
+
+// TelescopeResult is the outcome of the §5 scanner-detection
+// experiment.
+type TelescopeResult = experiments.Section5Result
+
+// DetectScanners runs the telescope experiment: query pool servers from
+// distinct source addresses, capture inbound traffic, and attribute
+// scans to the NTP queries that leaked the addresses. The simulated
+// pool contains a research-style and a covert scanning actor, modelled
+// on the two operations the paper caught.
+func DetectScanners(seed uint64) *TelescopeResult { return experiments.Section5(seed) }

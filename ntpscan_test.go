@@ -1,0 +1,43 @@
+package ntpscan_test
+
+import (
+	"strings"
+	"testing"
+
+	"ntpscan"
+)
+
+func TestFacadeCollectExperiments(t *testing.T) {
+	s := ntpscan.CollectExperiments(ntpscan.Options{
+		Seed: 3, DeviceScale: 1e-3, AddrScale: 1e-6, ASScale: 0.02, Workers: 16,
+	})
+	out := s.Table1()
+	if !strings.Contains(out, "IP addresses") {
+		t.Fatalf("Table1 render broken:\n%s", out)
+	}
+	if s.P.Summary.Set().Len() == 0 {
+		t.Fatal("no addresses collected through the facade")
+	}
+}
+
+func TestFacadePipeline(t *testing.T) {
+	p := ntpscan.NewPipeline(ntpscan.Config{
+		Seed: 4,
+		World: ntpscan.WorldConfig{
+			DeviceScale: 1e-3, AddrScale: 1e-6, ASScale: 0.02,
+		},
+	})
+	if len(p.Servers) != 11 {
+		t.Fatalf("servers = %d", len(p.Servers))
+	}
+}
+
+func TestFacadeDetectScanners(t *testing.T) {
+	res := ntpscan.DetectScanners(5)
+	if len(res.Report.Campaigns) != 2 {
+		t.Fatalf("campaigns = %d", len(res.Report.Campaigns))
+	}
+	if !strings.Contains(res.Rendered, "telescope") {
+		t.Fatal("render broken")
+	}
+}
