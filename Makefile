@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench
+
+all: check
+
+# check is the CI gate: vet, build everything, then the full test suite
+# under the race detector (the parallel collection/scan pipeline is
+# exactly the kind of code -race exists for).
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the pipeline benchmarks and records them, with host
+# metadata, in BENCH_pipeline.json. NTPSCAN_SCALE multiplies the bench
+# world scale (see bench_test.go).
+bench:
+	$(GO) run ./cmd/benchjson -out BENCH_pipeline.json

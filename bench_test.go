@@ -70,6 +70,30 @@ func BenchmarkFullCampaign(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignWorkers runs the same campaign at several worker
+// counts. The collection shard count is fixed, so every variant
+// produces a bit-identical dataset; only wall-clock should move. On a
+// multi-core host the 8-worker variant is the pipeline speedup
+// headline recorded in BENCH_pipeline.json.
+func BenchmarkCampaignWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := benchOptions()
+			opts.DeviceScale /= 5
+			opts.AddrScale /= 3
+			opts.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts.Seed = uint64(1000 + i)
+				s := ntpscan.RunExperiments(opts)
+				if s.P.Summary.Set().Len() == 0 {
+					b.Fatal("empty run")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable1Collection regenerates Table 1 (dataset sizes and
 // overlaps).
 func BenchmarkTable1Collection(b *testing.B) {

@@ -1,0 +1,147 @@
+// Command benchjson runs the pipeline benchmarks and records the
+// results, together with host metadata and the pre-parallelisation
+// baseline, in a JSON file (BENCH_pipeline.json at the repo root).
+//
+//	go run ./cmd/benchjson -out BENCH_pipeline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Baseline numbers measured on the serial pipeline (commit before the
+// sharded collection→scan rework), NTPSCAN_SCALE=1, single run.
+var baseline = []Bench{
+	{Name: "BenchmarkFullCampaign", NsPerOp: 1628832620, BytesPerOp: 322624880, AllocsPerOp: 2690083},
+	{Name: "BenchmarkTable2ScanResults", NsPerOp: 69457198, BytesPerOp: 19804477, AllocsPerOp: 1270},
+}
+
+const baselineHost = "Intel Xeon @ 2.70GHz, linux/amd64, 1 CPU visible (containerised)"
+
+// Bench is one parsed benchmark result line.
+type Bench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the BENCH_pipeline.json schema.
+type Report struct {
+	Generated string  `json:"generated"`
+	Host      Host    `json:"host"`
+	Note      string  `json:"note"`
+	Before    Section `json:"before"`
+	After     Section `json:"after"`
+}
+
+// Host describes the machine the "after" numbers come from.
+type Host struct {
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	CPUModel  string `json:"cpu_model,omitempty"`
+}
+
+// Section pairs benchmark numbers with the host they ran on.
+type Section struct {
+	Host    string  `json:"host"`
+	Results []Bench `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parseBench(out string) []Bench {
+	var res []Bench
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		b := Bench{Name: m[1]}
+		b.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		res = append(res, b)
+	}
+	return res
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pipeline.json", "output file")
+	pattern := flag.String("bench", "BenchmarkFullCampaign$|BenchmarkCampaignWorkers$|BenchmarkTable2ScanResults$", "benchmark regexp")
+	flag.Parse()
+
+	cmd := exec.Command("go", "test", "-run", "NONE", "-bench", *pattern, "-benchmem", "-count", "1", ".")
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test -bench failed: %v\n", err)
+		os.Exit(1)
+	}
+	results := parseBench(string(raw))
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
+		os.Exit(1)
+	}
+
+	host := Host{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		CPUModel:  cpuModel(),
+	}
+	report := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host:      host,
+		Note: "Before = serial pipeline, after = sharded parallel pipeline on the logical-time fabric " +
+			"(simulated timeouts no longer sleep wall time), both NTPSCAN_SCALE=1. The single-core win " +
+			"comes from eliminating those sleeps; additional multi-core scaling (BenchmarkCampaignWorkers) " +
+			"requires NumCPU > 1 — on a 1-CPU host the worker variants measure coordination overhead only. " +
+			"Output is bit-identical across worker counts (see TestCampaignDeterministicAcrossWorkers).",
+		Before: Section{Host: baselineHost, Results: baseline},
+		After: Section{
+			Host:    fmt.Sprintf("%s, %s/%s, %d CPU", host.CPUModel, host.GOOS, host.GOARCH, host.NumCPU),
+			Results: results,
+		},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d results)\n", *out, len(results))
+}

@@ -12,6 +12,10 @@ import (
 // are counted per address and per network. Key-reusing outdated servers
 // count once per address here, which is why Figure 5 shows much more
 // outdatedness than Figure 2 — the paper discusses exactly this effect.
+//
+// Both rollups fold a boolean OR per address/prefix, which commutes, so
+// the record stream is chunked across analysis workers (parallelFold)
+// and the per-chunk maps are OR-merged without affecting the output.
 
 // PatchByNet holds Figure 5 counts at one granularity.
 type PatchByNet struct {
@@ -26,6 +30,40 @@ func (p PatchByNet) OutdatedShare() float64 {
 		return 0
 	}
 	return float64(p.Outdated) / float64(p.Assessable)
+}
+
+// netFlags accumulates one boolean per address and per prefix at the
+// three paper granularities.
+type netFlags struct {
+	addrs map[netip.Addr]bool
+	nets  map[int]map[netip.Prefix]bool
+}
+
+func newNetFlags() *netFlags {
+	return &netFlags{
+		addrs: map[netip.Addr]bool{},
+		nets:  map[int]map[netip.Prefix]bool{48: {}, 56: {}, 64: {}},
+	}
+}
+
+func (f *netFlags) observe(addr netip.Addr, flag bool) {
+	f.addrs[addr] = f.addrs[addr] || flag
+	for bits, m := range f.nets {
+		p := ipv6x.Prefix(addr, bits)
+		m[p] = m[p] || flag
+	}
+}
+
+func (f *netFlags) merge(o *netFlags) {
+	for a, flag := range o.addrs {
+		f.addrs[a] = f.addrs[a] || flag
+	}
+	for bits, om := range o.nets {
+		m := f.nets[bits]
+		for p, flag := range om {
+			m[p] = m[p] || flag
+		}
+	}
 }
 
 // SSHOutdatedByNetwork recomputes the Figure 2 analysis per address and
@@ -44,69 +82,75 @@ func SSHOutdatedByNetwork(datasets ...*Dataset) [][]PatchByNet {
 	}
 	all := make([][]rec, len(datasets))
 	for i, d := range datasets {
-		for _, r := range d.Successes("ssh") {
-			if r.SSH == nil {
-				continue
-			}
-			id, err := sshx.ParseServerID(r.SSH.ServerID)
-			if err != nil {
-				continue
-			}
-			base, rev, ok := id.PatchLevel()
-			if !ok {
-				continue
-			}
-			k := releaseKey{software: id.Software, base: base}
-			if rev > latest[k] {
-				latest[k] = rev
-			}
-			all[i] = append(all[i], rec{release: k, rev: rev, addr: r.IP})
+		ssh := d.Successes("ssh")
+		type parsed struct {
+			recs   []rec
+			latest map[releaseKey]int
 		}
+		parallelFold(len(ssh), func(lo, hi int) parsed {
+			p := parsed{latest: map[releaseKey]int{}}
+			for _, r := range ssh[lo:hi] {
+				if r.SSH == nil {
+					continue
+				}
+				id, err := sshx.ParseServerID(r.SSH.ServerID)
+				if err != nil {
+					continue
+				}
+				base, rev, ok := id.PatchLevel()
+				if !ok {
+					continue
+				}
+				k := releaseKey{software: id.Software, base: base}
+				if rev > p.latest[k] {
+					p.latest[k] = rev
+				}
+				p.recs = append(p.recs, rec{release: k, rev: rev, addr: r.IP})
+			}
+			return p
+		}, func(p parsed) {
+			for k, rev := range p.latest {
+				if rev > latest[k] {
+					latest[k] = rev
+				}
+			}
+			all[i] = append(all[i], p.recs...)
+		})
 	}
 
 	out := make([][]PatchByNet, len(datasets))
 	for i := range datasets {
-		type state struct{ outdated bool }
-		addrs := map[netip.Addr]*state{}
-		nets := map[int]map[netip.Prefix]*state{48: {}, 56: {}, 64: {}}
-		for _, rc := range all[i] {
-			outdated := rc.rev < latest[rc.release]
-			if s, ok := addrs[rc.addr]; ok {
-				s.outdated = s.outdated || outdated
-			} else {
-				addrs[rc.addr] = &state{outdated: outdated}
+		recs := all[i]
+		flags := newNetFlags()
+		parallelFold(len(recs), func(lo, hi int) *netFlags {
+			f := newNetFlags()
+			for _, rc := range recs[lo:hi] {
+				f.observe(rc.addr, rc.rev < latest[rc.release])
 			}
-			for bits, m := range nets {
-				p := ipv6x.Prefix(rc.addr, bits)
-				if s, ok := m[p]; ok {
-					s.outdated = s.outdated || outdated
-				} else {
-					m[p] = &state{outdated: outdated}
-				}
-			}
-		}
-		count := func(label string, m map[netip.Prefix]*state) PatchByNet {
+			return f
+		}, flags.merge)
+		count := func(label string, m map[netip.Prefix]bool) PatchByNet {
 			out := PatchByNet{Granularity: label}
-			for _, s := range m {
+			for _, outdated := range m {
 				out.Assessable++
-				if s.outdated {
+				if outdated {
 					out.Outdated++
 				}
 			}
 			return out
 		}
 		byAddr := PatchByNet{Granularity: "addr"}
-		for _, s := range addrs {
+		for _, outdated := range flags.addrs {
 			byAddr.Assessable++
-			if s.outdated {
+			if outdated {
 				byAddr.Outdated++
 			}
 		}
 		out[i] = []PatchByNet{
 			byAddr,
-			count("/48", nets[48]),
-			count("/56", nets[56]),
-			count("/64", nets[64]),
+			count("/48", flags.nets[48]),
+			count("/56", flags.nets[56]),
+			count("/64", flags.nets[64]),
 		}
 	}
 	return out
@@ -132,42 +176,37 @@ func (a AccessByNet) OpenShare() float64 {
 // (Figure 6). A network counts as open if any broker in it accepted the
 // anonymous probe.
 func BrokerAccessByNetwork(d *Dataset, proto string) []AccessByNet {
-	type state struct{ open bool }
-	addrs := map[netip.Addr]*state{}
-	nets := map[int]map[netip.Prefix]*state{48: {}, 56: {}, 64: {}}
-	observe := func(addr netip.Addr, open bool) {
-		if s, ok := addrs[addr]; ok {
-			s.open = s.open || open
-		} else {
-			addrs[addr] = &state{open: open}
-		}
-		for bits, m := range nets {
-			p := ipv6x.Prefix(addr, bits)
-			if s, ok := m[p]; ok {
-				s.open = s.open || open
-			} else {
-				m[p] = &state{open: open}
-			}
-		}
+	type rec struct {
+		addr netip.Addr
+		open bool
 	}
+	var recs []rec
 	for _, module := range []string{proto, proto + "s"} {
 		for _, r := range d.Successes(module) {
 			switch proto {
 			case "mqtt":
 				if r.MQTT != nil {
-					observe(r.IP, r.MQTT.Open)
+					recs = append(recs, rec{addr: r.IP, open: r.MQTT.Open})
 				}
 			case "amqp":
 				if r.AMQP != nil {
-					observe(r.IP, r.AMQP.Open)
+					recs = append(recs, rec{addr: r.IP, open: r.AMQP.Open})
 				}
 			}
 		}
 	}
-	count := func(label string, m map[netip.Prefix]*state) AccessByNet {
+	flags := newNetFlags()
+	parallelFold(len(recs), func(lo, hi int) *netFlags {
+		f := newNetFlags()
+		for _, rc := range recs[lo:hi] {
+			f.observe(rc.addr, rc.open)
+		}
+		return f
+	}, flags.merge)
+	count := func(label string, m map[netip.Prefix]bool) AccessByNet {
 		out := AccessByNet{Granularity: label}
-		for _, s := range m {
-			if s.open {
+		for _, open := range m {
+			if open {
 				out.Open++
 			} else {
 				out.AccessControl++
@@ -176,8 +215,8 @@ func BrokerAccessByNetwork(d *Dataset, proto string) []AccessByNet {
 		return out
 	}
 	byAddr := AccessByNet{Granularity: "addr"}
-	for _, s := range addrs {
-		if s.open {
+	for _, open := range flags.addrs {
+		if open {
 			byAddr.Open++
 		} else {
 			byAddr.AccessControl++
@@ -185,8 +224,8 @@ func BrokerAccessByNetwork(d *Dataset, proto string) []AccessByNet {
 	}
 	return []AccessByNet{
 		byAddr,
-		count("/48", nets[48]),
-		count("/56", nets[56]),
-		count("/64", nets[64]),
+		count("/48", flags.nets[48]),
+		count("/56", flags.nets[56]),
+		count("/64", flags.nets[64]),
 	}
 }

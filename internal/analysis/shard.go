@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"hash/maphash"
+	"net/netip"
+	"sync"
+)
+
+// Hash-sharded accumulators for the parallel collection pipeline. The
+// serial AddrSummary/EUI64Stats stay the canonical read-side types;
+// these wrappers partition the write side across addrShards independent
+// locks so many collection workers can add concurrently, then Merge
+// folds the shards back into one summary in fixed shard order.
+//
+// Determinism: an address always hashes to the same shard, every
+// accumulator update is a pure function of the address (plus its fixed
+// capture country), and dedup is per-address — so the merged summary is
+// independent of the order and interleaving in which workers added
+// addresses. Any worker count yields bit-identical statistics.
+
+// addrShards is the lock fan-out of the sharded accumulators.
+const addrShards = 64
+
+var addrShardSeed = maphash.MakeSeed()
+
+func addrShard(addr netip.Addr) int {
+	b := addr.As16()
+	return int(maphash.Bytes(addrShardSeed, b[:]) % addrShards)
+}
+
+// ShardedAddrSummary is a concurrency-safe AddrSummary accumulator.
+type ShardedAddrSummary struct {
+	shards [addrShards]struct {
+		mu  sync.Mutex
+		sum *AddrSummary
+	}
+	ctx *Context
+}
+
+// NewShardedAddrSummary returns an empty sharded accumulator resolving
+// against ctx.
+func NewShardedAddrSummary(ctx *Context) *ShardedAddrSummary {
+	s := &ShardedAddrSummary{ctx: ctx}
+	for i := range s.shards {
+		s.shards[i].sum = NewAddrSummary(ctx)
+	}
+	return s
+}
+
+// Add observes one address; duplicates are ignored. It reports whether
+// the address was new. Safe for concurrent use.
+func (s *ShardedAddrSummary) Add(addr netip.Addr) bool {
+	sh := &s.shards[addrShard(addr)]
+	sh.mu.Lock()
+	fresh := sh.sum.Add(addr)
+	sh.mu.Unlock()
+	return fresh
+}
+
+// Merge folds all shards into one serial AddrSummary snapshot. The
+// shards partition the address space, so the result equals what a
+// serial accumulator fed the same addresses (in any order) would hold.
+func (s *ShardedAddrSummary) Merge() *AddrSummary {
+	out := NewAddrSummary(s.ctx)
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		out.Merge(s.shards[i].sum)
+		s.shards[i].mu.Unlock()
+	}
+	return out
+}
+
+// ShardedEUI64Stats is a concurrency-safe EUI64Stats accumulator.
+type ShardedEUI64Stats struct {
+	shards [addrShards]struct {
+		mu  sync.Mutex
+		sum *EUI64Stats
+	}
+	ctx *Context
+}
+
+// NewShardedEUI64Stats returns an empty sharded accumulator.
+func NewShardedEUI64Stats(ctx *Context) *ShardedEUI64Stats {
+	s := &ShardedEUI64Stats{ctx: ctx}
+	for i := range s.shards {
+		s.shards[i].sum = NewEUI64Stats(ctx)
+	}
+	return s
+}
+
+// Add observes one captured address with the capturing vantage country.
+// Duplicate addresses are ignored. Safe for concurrent use.
+func (s *ShardedEUI64Stats) Add(addr netip.Addr, captureCountry string) {
+	sh := &s.shards[addrShard(addr)]
+	sh.mu.Lock()
+	sh.sum.Add(addr, captureCountry)
+	sh.mu.Unlock()
+}
+
+// Merge folds all shards into one serial EUI64Stats snapshot.
+func (s *ShardedEUI64Stats) Merge() *EUI64Stats {
+	out := NewEUI64Stats(s.ctx)
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		out.Merge(s.shards[i].sum)
+		s.shards[i].mu.Unlock()
+	}
+	return out
+}

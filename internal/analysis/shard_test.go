@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"ntpscan/internal/ipv6x"
+)
+
+// The sharded accumulators must match the serial ones exactly when fed
+// the same addresses, from any number of goroutines in any order.
+func TestShardedAddrSummaryMatchesSerial(t *testing.T) {
+	ctx := testContext()
+	var addrs []netip.Addr
+	for i := 0; i < 5000; i++ {
+		addrs = append(addrs, addr(i%3000)) // duplicates included
+	}
+
+	serial := NewAddrSummary(ctx)
+	for _, a := range addrs {
+		serial.Add(a)
+	}
+
+	sharded := NewShardedAddrSummary(ctx)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Every goroutine adds every address: worst-case duplicate
+			// contention, same distinct set.
+			for _, a := range addrs {
+				sharded.Add(a)
+			}
+		}()
+	}
+	wg.Wait()
+	got, want := sharded.Merge().Stats(), serial.Stats()
+	if fmt.Sprintf("%+v", got) != fmt.Sprintf("%+v", want) {
+		t.Fatalf("sharded stats diverge:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestShardedEUI64StatsMatchesSerial(t *testing.T) {
+	ctx := testContext()
+	countries := []string{"DE", "IN", "US"}
+	var addrs []netip.Addr
+	for i := 0; i < 2000; i++ {
+		if i%3 == 0 {
+			// EUI-64-shaped: embed a MAC into the IID.
+			mac := ipv6x.MAC{0x00, 0x1f, 0x28, byte(i), byte(i >> 8), 7}
+			addrs = append(addrs, ipv6x.FromParts(0x20010db8_00000000, ipv6x.EmbedMAC(mac)))
+		} else {
+			addrs = append(addrs, addr(i))
+		}
+	}
+	countryOf := func(a netip.Addr) string {
+		b := a.As16()
+		return countries[int(b[15])%len(countries)]
+	}
+
+	serial := NewEUI64Stats(ctx)
+	for _, a := range addrs {
+		serial.Add(a, countryOf(a))
+	}
+
+	sharded := NewShardedEUI64Stats(ctx)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, a := range addrs {
+				sharded.Add(a, countryOf(a))
+			}
+		}()
+	}
+	wg.Wait()
+	merged := sharded.Merge()
+
+	if merged.AddrsTotal != serial.AddrsTotal ||
+		merged.AddrsEUI != serial.AddrsEUI ||
+		merged.AddrsUnique != serial.AddrsUnique ||
+		merged.DistinctMACs() != serial.DistinctMACs() ||
+		merged.ListedMACs() != serial.ListedMACs() {
+		t.Fatalf("sharded EUI stats diverge: %d/%d/%d/%d/%d vs %d/%d/%d/%d/%d",
+			merged.AddrsTotal, merged.AddrsEUI, merged.AddrsUnique, merged.DistinctMACs(), merged.ListedMACs(),
+			serial.AddrsTotal, serial.AddrsEUI, serial.AddrsUnique, serial.DistinctMACs(), serial.ListedMACs())
+	}
+	for _, class := range []MACClass{MACListed, MACUnlisted, MACLocal} {
+		gc, gs := merged.OriginDistribution(class)
+		wc, ws := serial.OriginDistribution(class)
+		if fmt.Sprint(gc, gs) != fmt.Sprint(wc, ws) {
+			t.Fatalf("class %v origin distribution diverges", class)
+		}
+	}
+	if fmt.Sprint(merged.TopVendors(10)) != fmt.Sprint(serial.TopVendors(10)) {
+		t.Fatal("vendor table diverges")
+	}
+}
+
+// The parallel fold must produce the same rollups at any worker count.
+func TestParallelWorkersKnobDeterminism(t *testing.T) {
+	d := NewDataset("x", nil)
+	for i := 0; i < 4000; i++ {
+		rev := i % 3
+		d.Add(sshOK(addr(i%1000), fmt.Sprintf("k%d", i%50),
+			fmt.Sprintf("SSH-2.0-OpenSSH_9.%dp1", rev), "Ubuntu"))
+		d.Add(mqttOK(addr(i%700), i%5 == 0))
+		d.Add(httpsOK(addr(i%900), fmt.Sprintf("c%d", i%333), fmt.Sprintf("Device %d", i%7), 200))
+	}
+
+	SetWorkers(1)
+	ssh1 := fmt.Sprint(SSHOutdatedByNetwork(d))
+	mqtt1 := fmt.Sprint(BrokerAccessByNetwork(d, "mqtt"))
+	titles1 := fmt.Sprint(TitleGroups(d))
+
+	SetWorkers(8)
+	ssh8 := fmt.Sprint(SSHOutdatedByNetwork(d))
+	mqtt8 := fmt.Sprint(BrokerAccessByNetwork(d, "mqtt"))
+	titles8 := fmt.Sprint(TitleGroups(d))
+	SetWorkers(0)
+
+	if ssh1 != ssh8 {
+		t.Fatalf("SSHOutdatedByNetwork differs across workers:\n%s\n%s", ssh1, ssh8)
+	}
+	if mqtt1 != mqtt8 {
+		t.Fatalf("BrokerAccessByNetwork differs across workers:\n%s\n%s", mqtt1, mqtt8)
+	}
+	if titles1 != titles8 {
+		t.Fatalf("TitleGroups differs across workers:\n%s\n%s", titles1, titles8)
+	}
+}

@@ -3,12 +3,73 @@ package core
 import (
 	"net/netip"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ntpscan/internal/analysis"
+	"ntpscan/internal/ntp"
 	"ntpscan/internal/rng"
 	"ntpscan/internal/world"
 )
+
+// collectShard is one deterministic sub-stream of the collection. Each
+// shard owns derived rng streams (a pure function of the root seed and
+// the shard index), per-vantage NTP server clones whose capture hooks
+// tag this shard, and a feed buffer of captured addresses. Shards never
+// share mutable state, so any number of them can run concurrently; the
+// slice driver merges feed buffers in ascending shard order.
+type collectShard struct {
+	idx   int
+	vol   *rng.Stream // volume-channel sampling
+	resp  *rng.Stream // responsive-channel re-capture draws
+	ports *rng.Stream // client source ports
+	// ntp holds per-country capture servers for the codec fast path;
+	// their hooks record into this shard.
+	ntp map[string]*ntp.Server
+	// feed buffers this shard's captures within the current slice.
+	feed []netip.Addr
+	// volumeStats gates collection statistics: only volume-channel
+	// captures count toward Tables 1/4/7 and Figures 1/4. The
+	// responsive channel is a DeviceScale population — at full scale it
+	// contributes a negligible sliver of the 3B collected addresses,
+	// but at bench scale ratios it would swamp the AddrScale-denominated
+	// statistics (see DESIGN.md on the two-scale substitution).
+	volumeStats bool
+}
+
+// makeCollectShards derives the shard set. Shard i's streams are
+// Derive("volume/shard/i") etc. off the pipeline stream — stable across
+// runs and independent of the worker count.
+func (p *Pipeline) makeCollectShards() []*collectShard {
+	shards := make([]*collectShard, p.Cfg.CollectShards)
+	for i := range shards {
+		sh := &collectShard{
+			idx:   i,
+			vol:   p.rng.DeriveIndexed("volume/shard", i),
+			resp:  p.rng.DeriveIndexed("responsive/shard", i),
+			ports: p.rng.DeriveIndexed("ports/shard", i),
+			ntp:   make(map[string]*ntp.Server, len(p.Servers)),
+		}
+		for _, vs := range p.Servers {
+			country := vs.Country
+			sh.ntp[country] = ntp.NewServer(ntp.ServerConfig{
+				Now: p.W.Clock().Now,
+				Capture: func(client netip.AddrPort, at time.Time) {
+					p.recordCaptureShard(sh, client.Addr(), country, at)
+				},
+			})
+		}
+		shards[i] = sh
+	}
+	return shards
+}
+
+// collectQuota is one vantage country's volume-channel event budget.
+type collectQuota struct {
+	vs     *VantageServer
+	events int
+}
 
 // Collect runs the four-week address collection. Capture events arrive
 // on two channels:
@@ -23,12 +84,26 @@ import (
 //     re-observed, the mechanism behind addrs > certs in Table 2.
 //
 // feed, when non-nil, receives every captured address as it happens
-// (the real-time scan feed). The logical clock advances across the
-// window as events are generated.
+// (the real-time scan feed), in canonical shard order within each time
+// slice. The logical clock advances across the window as events are
+// generated.
 func (p *Pipeline) Collect(feed func(netip.Addr)) {
-	p.onAddr = feed
-	defer func() { p.onAddr = nil }()
+	var batch func([]netip.Addr)
+	if feed != nil {
+		batch = func(addrs []netip.Addr) {
+			for _, a := range addrs {
+				feed(a)
+			}
+		}
+	}
+	p.collect(batch, nil)
+}
 
+// collect is the sharded collection driver. batch, when non-nil,
+// receives each slice's captures merged in shard order; drain, when
+// non-nil, runs after each slice's batches — the campaign uses it to
+// complete all in-flight scans before the clock moves.
+func (p *Pipeline) collect(batch func([]netip.Addr), drain func()) {
 	budget := p.Cfg.CaptureBudget
 	if budget == 0 {
 		budget = 3 * p.expectedDistinct()
@@ -37,11 +112,7 @@ func (p *Pipeline) Collect(feed func(netip.Addr)) {
 	start := p.W.Cfg.Start
 
 	// Per-country event quotas: sync mass x tuned share.
-	type quota struct {
-		vs     *VantageServer
-		events int
-	}
-	var quotas []quota
+	var quotas []collectQuota
 	totalWeight := 0.0
 	for _, vs := range p.Servers {
 		totalWeight += p.W.SyncMass(vs.Country) * p.Pool.ShareEstimate(vs.Country)
@@ -49,47 +120,136 @@ func (p *Pipeline) Collect(feed func(netip.Addr)) {
 	if totalWeight > 0 {
 		for _, vs := range p.Servers {
 			w := p.W.SyncMass(vs.Country) * p.Pool.ShareEstimate(vs.Country)
-			quotas = append(quotas, quota{vs: vs, events: int(float64(budget) * w / totalWeight)})
+			quotas = append(quotas, collectQuota{vs: vs, events: int(float64(budget) * w / totalWeight)})
 		}
+	}
+
+	// Warm the responsive-population cache before fanning out.
+	p.responsive()
+
+	shards := p.makeCollectShards()
+	workers := p.Cfg.Workers
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers < 1 || p.Cfg.FullPacketNTP {
+		// FullPacketNTP captures arrive through the fabric-registered
+		// vantage server, whose hook routes via p.activeShard — shards
+		// must run one at a time.
+		workers = 1
 	}
 
 	// Interleave: walk the window in slices, emitting each country's
 	// proportional share per slice so time advances monotonically and
-	// dynamic devices rotate through their epochs.
+	// dynamic devices rotate through their epochs. Within a slice the
+	// clock is frozen: shards run in parallel, their feeds are merged
+	// in shard order, and drain completes the slice's scans before the
+	// next Set.
 	const slices = 96 // 7-hour steps across four weeks
-	r := p.rng.Derive("volume")
 	for s := 0; s < slices; s++ {
 		sliceTime := start.Add(world.CollectionWindow * time.Duration(s) / slices)
 		if sliceTime.After(clock.Now()) {
 			clock.Set(sliceTime)
 		}
-		for _, q := range quotas {
-			n := q.events / slices
-			if s < q.events%slices {
-				n++
+		p.runShards(shards, workers, s, slices, quotas)
+		for _, sh := range shards {
+			if batch != nil && len(sh.feed) > 0 {
+				batch(sh.feed)
 			}
-			p.volumeStats = true
-			for i := 0; i < n; i++ {
-				dev := p.W.SampleClient(q.vs.Country, r)
-				if dev == nil {
-					continue
-				}
-				addr := p.W.CurrentAddr(dev, clock.Now())
-				p.captureVia(q.vs, addr)
-			}
-			p.volumeStats = false
+			sh.feed = sh.feed[:0]
 		}
-		p.responsiveSlice(s, slices, r)
+		if drain != nil {
+			drain()
+		}
+	}
+
+	// Publish the collection outputs in canonical order.
+	p.Captures = int(p.captures.Load())
+	p.Summary = p.sumShards.Merge()
+	p.EUI = p.euiShards.Merge()
+	p.PerCountry = make(map[string]int)
+	for country, n := range p.perCountryN {
+		if v := int(n.Load()); v > 0 {
+			p.PerCountry[country] = v
+		}
 	}
 }
 
-// responsiveSlice captures the slice's portion of the responsive
-// population. Device i is first captured in slice i%slices (spreading
-// the population over the window), then re-captured in later epochs
-// with probability derived from ResponsiveDupRate.
-func (p *Pipeline) responsiveSlice(s, slices int, r *rng.Stream) {
+// runShards executes one slice across the shard set with up to workers
+// goroutines. Shards are picked up dynamically (they are independent,
+// so pickup order is irrelevant); with workers == 1 they run in order,
+// with activeShard routing for the FullPacketNTP fabric hook.
+func (p *Pipeline) runShards(shards []*collectShard, workers, s, slices int, quotas []collectQuota) {
+	if workers <= 1 {
+		for _, sh := range shards {
+			if p.Cfg.FullPacketNTP {
+				p.activeShard = sh
+			}
+			p.runShardSlice(sh, s, slices, len(shards), quotas)
+		}
+		p.activeShard = nil
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				p.runShardSlice(shards[i], s, slices, len(shards), quotas)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runShardSlice emits shard sh's portion of one time slice: its split
+// of every country's volume quota, then its subset of the responsive
+// population.
+func (p *Pipeline) runShardSlice(sh *collectShard, s, slices, nshards int, quotas []collectQuota) {
+	clock := p.W.Clock()
+	for _, q := range quotas {
+		// The slice's event count for this country...
+		n := q.events / slices
+		if s < q.events%slices {
+			n++
+		}
+		// ...split evenly across shards.
+		sn := n / nshards
+		if sh.idx < n%nshards {
+			sn++
+		}
+		sh.volumeStats = true
+		for i := 0; i < sn; i++ {
+			dev := p.W.SampleClient(q.vs.Country, sh.vol)
+			if dev == nil {
+				continue
+			}
+			addr := p.W.CurrentAddr(dev, clock.Now())
+			p.captureVia(sh, q.vs, addr)
+		}
+		sh.volumeStats = false
+	}
+	p.responsiveShardSlice(sh, s, slices, nshards)
+}
+
+// responsiveShardSlice captures the shard's portion of the responsive
+// population for one slice. Device i belongs to shard i%nshards and is
+// first captured in slice i%slices (spreading the population over the
+// window), then re-captured in later epochs with probability derived
+// from ResponsiveDupRate — drawn from the shard's own stream, so the
+// decision sequence is fixed per shard regardless of worker count.
+func (p *Pipeline) responsiveShardSlice(sh *collectShard, s, slices, nshards int) {
 	clock := p.W.Clock()
 	for i, dev := range p.responsive() {
+		if i%nshards != sh.idx {
+			continue
+		}
 		vs, ok := p.ServerByCountry(dev.Country)
 		if !ok {
 			continue
@@ -98,13 +258,13 @@ func (p *Pipeline) responsiveSlice(s, slices int, r *rng.Stream) {
 		switch {
 		case s == first:
 			addr := p.W.CurrentAddr(dev, clock.Now())
-			p.captureVia(vs, addr)
+			p.captureVia(sh, vs, addr)
 		case s > first && dev.Profile.PrefixEpochs > 1:
 			// Dynamic devices may be re-captured after renumbering.
 			perSlice := p.Cfg.ResponsiveDupRate / float64(slices-first)
-			if r.Bool(perSlice) {
+			if sh.resp.Bool(perSlice) {
 				addr := p.W.CurrentAddr(dev, clock.Now())
-				p.captureVia(vs, addr)
+				p.captureVia(sh, vs, addr)
 			}
 		}
 	}

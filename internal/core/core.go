@@ -10,11 +10,19 @@
 //     comparison;
 //  4. run an R&L-era collection for the Table 1 replication column;
 //  5. hand everything to the analysis package.
+//
+// The collect→scan hot path is sharded: the capture stream is split
+// into Config.CollectShards deterministic sub-streams executed by up to
+// Config.Workers goroutines, and merged in canonical shard order. The
+// decomposition is part of the experiment definition (like Seed);
+// Workers only sets concurrency and never affects output. See DESIGN.md
+// "Concurrency & determinism".
 package core
 
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"ntpscan/internal/analysis"
@@ -44,15 +52,24 @@ type Config struct {
 	// a responsive device in later address epochs (dynamic addresses
 	// re-captured; drives the addrs-per-cert ratio of Table 2).
 	ResponsiveDupRate float64
-	// Workers for the scan pool.
+	// Workers for the scan pool and the collection fan-out. Workers is
+	// pure concurrency: any value produces bit-identical output for a
+	// given (Seed, scales, CollectShards).
 	Workers int
+	// CollectShards is the number of deterministic sub-streams the
+	// collection is decomposed into (default 32). It is part of the
+	// experiment definition like Seed — changing it changes the sampled
+	// stream — and bounds the useful collection parallelism.
+	CollectShards int
 	// Timeout per scan connection; UDPTimeout for connectionless
 	// probes.
 	Timeout    time.Duration
 	UDPTimeout time.Duration
 	// FullPacketNTP routes every capture through a complete UDP
-	// exchange on the fabric instead of the codec fast path. Slower;
-	// used by tests and small demos to prove equivalence.
+	// exchange on the fabric instead of the codec fast path. Slower,
+	// and collection shards run one at a time (the fabric-side capture
+	// hook cannot tag a shard); used by tests and small demos to prove
+	// equivalence.
 	FullPacketNTP bool
 }
 
@@ -64,8 +81,11 @@ func (c *Config) fillDefaults() {
 	if c.ResponsiveDupRate == 0 {
 		c.ResponsiveDupRate = 0.8
 	}
-	if c.Workers == 0 {
+	if c.Workers < 1 {
 		c.Workers = 64
+	}
+	if c.CollectShards < 1 {
+		c.CollectShards = 32
 	}
 	if c.Timeout == 0 {
 		c.Timeout = 50 * time.Millisecond
@@ -103,7 +123,7 @@ type Pipeline struct {
 
 	Servers []*VantageServer
 
-	// Collection outputs.
+	// Collection outputs, published at the end of each Collect.
 	Summary    *analysis.AddrSummary
 	EUI        *analysis.EUI64Stats
 	PerCountry map[string]int // distinct addresses per vantage country
@@ -115,13 +135,26 @@ type Pipeline struct {
 	onAddr func(netip.Addr)
 	// respCache memoises the responsive NTP population.
 	respCache []*world.Device
-	// volumeStats gates collection statistics: only volume-channel
-	// captures count toward Tables 1/4/7 and Figures 1/4. The
-	// responsive channel is a DeviceScale population — at full scale it
-	// contributes a negligible sliver of the 3B collected addresses,
-	// but at bench scale ratios it would swamp the AddrScale-denominated
-	// statistics (see DESIGN.md on the two-scale substitution).
-	volumeStats bool
+
+	// serverByCountry indexes Servers for the per-device lookup on the
+	// responsive channel.
+	serverByCountry map[string]*VantageServer
+
+	// Concurrent accumulators behind the published outputs: hash-
+	// sharded dedup summaries and atomic counters, merged into
+	// Summary/EUI/PerCountry/Captures in fixed order when Collect
+	// finishes. perCountryN is keyed at deploy time (the vantage set is
+	// fixed), so collection workers only ever load-and-add.
+	sumShards   *analysis.ShardedAddrSummary
+	euiShards   *analysis.ShardedEUI64Stats
+	captures    atomic.Int64
+	perCountryN map[string]*atomic.Int64
+
+	// activeShard routes fabric-side capture hooks to the collection
+	// shard being driven. Only the FullPacketNTP path uses it — the
+	// registered vantage server's hook cannot tag a shard, so shards
+	// run one at a time in that mode.
+	activeShard *collectShard
 }
 
 // NewPipeline builds the world and deploys the vantage servers.
@@ -137,12 +170,15 @@ func NewPipeline(cfg Config) *Pipeline {
 			Geo: w.Geo,
 			OUI: w.OUIReg,
 		},
-		Summary:    analysis.NewAddrSummary(nil), // AS stats added below
-		PerCountry: make(map[string]int),
-		rng:        rng.New(cfg.Seed ^ 0xc0fe),
+		PerCountry:      make(map[string]int),
+		serverByCountry: make(map[string]*VantageServer),
+		perCountryN:     make(map[string]*atomic.Int64),
+		rng:             rng.New(cfg.Seed ^ 0xc0fe),
 	}
 	p.Summary = analysis.NewAddrSummary(p.Ctx)
 	p.EUI = analysis.NewEUI64Stats(p.Ctx)
+	p.sumShards = analysis.NewShardedAddrSummary(p.Ctx)
+	p.euiShards = analysis.NewShardedEUI64Stats(p.Ctx)
 	p.deployServers()
 	return p
 }
@@ -168,6 +204,8 @@ func (p *Pipeline) deployServers() {
 		p.W.Fabric().Register(addr, netsim.NewHost("vantage-"+country).HandleUDP(ntp.Port, srv.Handle))
 		vs := &VantageServer{ID: "ours-" + country, Country: country, Addr: addr, NTP: srv}
 		p.Servers = append(p.Servers, vs)
+		p.serverByCountry[country] = vs
+		p.perCountryN[country] = &atomic.Int64{}
 		p.Pool.AddServer(&ntppool.Server{
 			ID: vs.ID, Country: country, Addr: addr, NetSpeed: 1,
 		})
@@ -191,46 +229,55 @@ func (p *Pipeline) tuneNetspeed(vs *VantageServer) {
 
 // ServerByCountry returns the vantage deployment for a country.
 func (p *Pipeline) ServerByCountry(code string) (*VantageServer, bool) {
-	for _, s := range p.Servers {
-		if s.Country == code {
-			return s, true
-		}
-	}
-	return nil, false
+	vs, ok := p.serverByCountry[code]
+	return vs, ok
 }
 
-// recordCapture is the capture hook: dedup, statistics, and the
-// real-time feed.
+// recordCapture is the fabric-side capture hook (FullPacketNTP and any
+// stray NTP traffic reaching a vantage address): it attributes the
+// event to the shard currently being driven, if any.
 func (p *Pipeline) recordCapture(addr netip.Addr, country string, at time.Time) {
-	p.Captures++
-	if p.volumeStats {
-		p.EUI.Add(addr, country)
-		if p.Summary.Add(addr) {
-			p.PerCountry[country]++
+	p.recordCaptureShard(p.activeShard, addr, country, at)
+}
+
+// recordCaptureShard is the capture hook: dedup, statistics, and the
+// real-time feed. Statistics go to the sharded accumulators (safe and
+// order-independent under concurrency); the address itself lands in the
+// shard's feed buffer, merged in shard order at the slice boundary.
+func (p *Pipeline) recordCaptureShard(sh *collectShard, addr netip.Addr, country string, at time.Time) {
+	p.captures.Add(1)
+	if sh != nil && sh.volumeStats {
+		p.euiShards.Add(addr, country)
+		if p.sumShards.Add(addr) {
+			p.perCountryN[country].Add(1)
 		}
 	}
-	if p.onAddr != nil {
+	if sh != nil {
+		sh.feed = append(sh.feed, addr)
+	} else if p.onAddr != nil {
 		p.onAddr(addr)
 	}
 }
 
 // captureVia routes one client sync through the vantage server: either
-// a full UDP exchange on the fabric or the codec fast path. Both paths
-// run the same ntp.Server logic and fire the same capture hook.
-func (p *Pipeline) captureVia(vs *VantageServer, client netip.Addr) error {
+// a full UDP exchange on the fabric or the shard's codec fast path.
+// Both paths run the same ntp.Server logic and fire the same capture
+// hook.
+func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.Addr) error {
 	now := p.W.Clock().Now()
+	port := 40000 + uint16(sh.ports.Intn(20000))
 	if p.Cfg.FullPacketNTP {
 		// The fabric has no latency: a response either arrives
 		// immediately or was lost. A short timeout keeps lossy mass
 		// collections from serialising on dead queries.
 		_, err := ntp.QuerySim(p.W.Fabric(),
-			netip.AddrPortFrom(client, 40000+uint16(p.rng.Intn(20000))),
+			netip.AddrPortFrom(client, port),
 			netip.AddrPortFrom(vs.Addr, ntp.Port),
 			p.W.Clock().Now, 10*time.Millisecond)
 		return err
 	}
 	req := ntp.NewClientPacket(now).Encode()
-	if resp := vs.NTP.Respond(netip.AddrPortFrom(client, 40000+uint16(p.rng.Intn(20000))), req); resp == nil {
+	if resp := sh.ntp[vs.Country].Respond(netip.AddrPortFrom(client, port), req); resp == nil {
 		return fmt.Errorf("core: vantage %s dropped request", vs.ID)
 	}
 	return nil

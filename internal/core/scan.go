@@ -3,7 +3,7 @@ package core
 import (
 	"context"
 	"net/netip"
-	"sync"
+	"sort"
 
 	"ntpscan/internal/analysis"
 	"ntpscan/internal/hitlist"
@@ -15,44 +15,71 @@ import (
 // it identifies us to the telescope.
 var ScanSource = netip.MustParseAddr("2a10:ffff:5ca::1")
 
-// resultSink accumulates scan results from concurrent workers.
+// resultSink accumulates scan results lock-free: every scanner worker
+// appends to its own bucket (the scanner guarantees one worker index
+// per goroutine), and merged restores the deterministic submission
+// order by sorting on the sequence numbers the scanner stamped.
 type resultSink struct {
-	mu  sync.Mutex
-	all []*zgrab.Result
+	buckets [][]*zgrab.Result
 }
 
-func (s *resultSink) add(r *zgrab.Result) {
-	s.mu.Lock()
-	s.all = append(s.all, r)
-	s.mu.Unlock()
+func newResultSink(workers int) *resultSink {
+	if workers < 1 {
+		workers = 1
+	}
+	return &resultSink{buckets: make([][]*zgrab.Result, workers)}
+}
+
+// add is the scanner's OnResultWorker hook. No locking: bucket w is
+// only ever touched by worker w.
+func (s *resultSink) add(worker int, r *zgrab.Result) {
+	s.buckets[worker] = append(s.buckets[worker], r)
+}
+
+// merged concatenates the buckets and sorts by submission sequence.
+// Call after the scanner is closed.
+func (s *resultSink) merged() []*zgrab.Result {
+	n := 0
+	for _, b := range s.buckets {
+		n += len(b)
+	}
+	all := make([]*zgrab.Result, 0, n)
+	for _, b := range s.buckets {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	return all
 }
 
 // newScanner assembles a scanner wired to the pipeline's fabric.
 func (p *Pipeline) newScanner(sink *resultSink) *zgrab.Scanner {
 	return zgrab.NewScanner(zgrab.Config{
-		Fabric:     p.W.Fabric(),
-		Clock:      p.W.Clock(),
-		Source:     ScanSource,
-		Timeout:    p.Cfg.Timeout,
-		UDPTimeout: p.Cfg.UDPTimeout,
-		Workers:    p.Cfg.Workers,
-		OnResult:   sink.add,
+		Fabric:         p.W.Fabric(),
+		Clock:          p.W.Clock(),
+		Source:         ScanSource,
+		Timeout:        p.Cfg.Timeout,
+		UDPTimeout:     p.Cfg.UDPTimeout,
+		Workers:        p.Cfg.Workers,
+		OnResultWorker: sink.add,
 	})
 }
 
 // RunNTPCampaign performs the §4.1 core experiment: collect addresses
 // for the full window while scanning every newly seen address in real
-// time. It returns the scan dataset; collection statistics live on the
-// pipeline afterwards.
+// time. Each collection slice's captures are batch-submitted in shard
+// order and drained before the logical clock moves, so the dataset is
+// bit-identical for a given (seed, scale) at any worker count. It
+// returns the scan dataset; collection statistics live on the pipeline
+// afterwards.
 func (p *Pipeline) RunNTPCampaign(ctx context.Context) *analysis.Dataset {
-	sink := &resultSink{}
+	sink := newResultSink(p.Cfg.Workers)
 	scanner := p.newScanner(sink)
 	scanner.Start(ctx)
-	p.Collect(func(addr netip.Addr) {
-		scanner.Submit(addr)
-	})
+	p.collect(func(batch []netip.Addr) {
+		scanner.SubmitBatch(batch)
+	}, scanner.Drain)
 	scanner.Close()
-	return analysis.NewDataset("ntp", sink.all)
+	return analysis.NewDataset("ntp", sink.merged())
 }
 
 // CollectOnly runs the collection without scanning (Table 1 runs).
@@ -74,14 +101,12 @@ func (p *Pipeline) BuildHitlist(cfg hitlist.Config) *hitlist.Hitlist {
 // ScanHitlist batch-scans the full hitlist (the paper scans the
 // unfiltered variant, §4.1) and returns the dataset.
 func (p *Pipeline) ScanHitlist(ctx context.Context, h *hitlist.Hitlist) *analysis.Dataset {
-	sink := &resultSink{}
+	sink := newResultSink(p.Cfg.Workers)
 	scanner := p.newScanner(sink)
 	scanner.Start(ctx)
-	for _, addr := range h.Full {
-		scanner.Submit(addr)
-	}
+	scanner.SubmitBatch(h.Full)
 	scanner.Close()
-	return analysis.NewDataset("hitlist", sink.all)
+	return analysis.NewDataset("hitlist", sink.merged())
 }
 
 // PublicHitlist applies the responsiveness filter plus aliased-prefix

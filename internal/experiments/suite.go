@@ -31,6 +31,11 @@ type Options struct {
 	ASScale     float64
 	// Workers for scanning.
 	Workers int
+	// CollectShards partitions collection work. Unlike Workers it is
+	// part of the experiment definition (shard streams are derived from
+	// it), so leave it zero (= core default) unless you intend to
+	// define a different experiment.
+	CollectShards int
 }
 
 func (o *Options) fill() {
@@ -76,7 +81,8 @@ func Run(opts Options) *Suite {
 			AddrScale:   opts.AddrScale,
 			ASScale:     opts.ASScale,
 		},
-		Workers: opts.Workers,
+		Workers:       opts.Workers,
+		CollectShards: opts.CollectShards,
 	})
 	s := &Suite{Opts: opts, P: p}
 	ctx := context.Background()
@@ -104,7 +110,8 @@ func CollectOnly(opts Options) *Suite {
 			AddrScale:   opts.AddrScale,
 			ASScale:     opts.ASScale,
 		},
-		Workers: opts.Workers,
+		Workers:       opts.Workers,
+		CollectShards: opts.CollectShards,
 	})
 	s := &Suite{Opts: opts, P: p}
 	p.CollectOnly()

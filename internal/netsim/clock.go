@@ -22,8 +22,9 @@ func (RealClock) Now() time.Time { return time.Now() }
 // ManualClock is a logical clock advanced explicitly by the experiment
 // driver. It is safe for concurrent use.
 type ManualClock struct {
-	mu  sync.RWMutex
-	now time.Time
+	mu      sync.RWMutex
+	now     time.Time
+	changed chan struct{}
 }
 
 // NewManualClock returns a manual clock starting at the given instant.
@@ -38,6 +39,28 @@ func (c *ManualClock) Now() time.Time {
 	return c.now
 }
 
+// Changed returns a channel that is closed the next time the clock
+// moves. Logical-time waiters (e.g. a token bucket running on simulated
+// time) grab the channel, re-read Now, and block on the channel — the
+// grab-before-read order guarantees an advance between the read and the
+// wait is never missed.
+func (c *ManualClock) Changed() <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.changed == nil {
+		c.changed = make(chan struct{})
+	}
+	return c.changed
+}
+
+// signal wakes Changed waiters. Callers must hold mu.
+func (c *ManualClock) signal() {
+	if c.changed != nil {
+		close(c.changed)
+		c.changed = nil
+	}
+}
+
 // Advance moves the clock forward by d and returns the new time. It
 // panics on negative d — the simulation is strictly monotonic.
 func (c *ManualClock) Advance(d time.Duration) time.Time {
@@ -46,7 +69,10 @@ func (c *ManualClock) Advance(d time.Duration) time.Time {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.now = c.now.Add(d)
+	if d > 0 {
+		c.now = c.now.Add(d)
+		c.signal()
+	}
 	return c.now
 }
 
@@ -57,5 +83,8 @@ func (c *ManualClock) Set(t time.Time) {
 	if t.Before(c.now) {
 		panic("netsim: ManualClock.Set moving backwards")
 	}
-	c.now = t
+	if t.After(c.now) {
+		c.now = t
+		c.signal()
+	}
 }

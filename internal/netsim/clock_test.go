@@ -1,0 +1,71 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualClockChanged(t *testing.T) {
+	start := time.Date(2024, 7, 20, 0, 0, 0, 0, time.UTC)
+	c := NewManualClock(start)
+
+	ch := c.Changed()
+	select {
+	case <-ch:
+		t.Fatal("channel closed before any advance")
+	default:
+	}
+
+	c.Advance(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Advance did not signal")
+	}
+
+	// A fresh channel fires on Set too.
+	ch = c.Changed()
+	c.Set(start.Add(time.Hour))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("Set did not signal")
+	}
+
+	// Zero-duration moves leave waiters parked: time did not change.
+	ch = c.Changed()
+	c.Advance(0)
+	c.Set(c.Now())
+	select {
+	case <-ch:
+		t.Fatal("no-op clock moves signalled")
+	default:
+	}
+}
+
+func TestManualClockChangedConcurrent(t *testing.T) {
+	c := NewManualClock(time.Date(2024, 7, 20, 0, 0, 0, 0, time.UTC))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			ch := c.Changed()
+			c.Now()
+			<-ch
+		}
+	}()
+	// Keep advancing until the waiter has consumed 100 signals; the
+	// grab-before-wait protocol must never strand it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+			if time.Now().After(deadline) {
+				t.Fatal("waiter starved")
+			}
+			c.Advance(time.Millisecond)
+		}
+	}
+}

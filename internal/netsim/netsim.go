@@ -276,6 +276,10 @@ func (n *Network) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPor
 		if handler, open := host.TCP[dst.Port()]; open {
 			client, server := NewConnPair(
 				netip.AddrPortFrom(src, ephemeralPort(src, dst)), dst)
+			if _, logical := n.clock.(*ManualClock); logical {
+				client.ignoreDeadlines = true
+				server.ignoreDeadlines = true
+			}
 			go handler(server)
 			return client, nil
 		}
@@ -283,7 +287,13 @@ func (n *Network) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPor
 			return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrConnRefused}
 		}
 	}
-	// Blackhole: wait out the caller's patience.
+	// Blackhole: wait out the caller's patience. On a manual clock the
+	// timeout is a logical-time event — no packet can arrive while the
+	// dial blocks (delivery is synchronous), so burning wall time here
+	// only throttles the simulation and the dial fails immediately.
+	if _, logical := n.clock.(*ManualClock); logical {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrTimeout}
+	}
 	timer := time.NewTimer(n.cfg.DialTimeout)
 	defer timer.Stop()
 	select {

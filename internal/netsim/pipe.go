@@ -64,6 +64,14 @@ func (d *pipeDeadline) wait() chan struct{} {
 	return d.cancel
 }
 
+// armed reports whether a deadline is currently configured (pending or
+// already passed).
+func (d *pipeDeadline) armed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.timer != nil || isClosedChan(d.cancel)
+}
+
 func isClosedChan(c <-chan struct{}) bool {
 	select {
 	case <-c:
@@ -144,6 +152,14 @@ type Conn struct {
 	readDL    pipeDeadline
 	writeDL   pipeDeadline
 	closePeer func() // wakes the peer's readers (set at pairing)
+
+	// ignoreDeadlines makes Set*Deadline no-ops. The network arms it on
+	// connections it hands out under a manual clock: the peer is an
+	// in-process goroutine whose replies take zero logical time, so a
+	// wall-clock deadline could only fire on scheduler starvation —
+	// turning worker-count and machine-load into observable scan
+	// outcomes and breaking run-to-run determinism.
+	ignoreDeadlines bool
 }
 
 // NewConnPair returns the two ends of a simulated connection between the
@@ -235,6 +251,9 @@ func (c *Conn) SetDeadline(t time.Time) error {
 	if isClosedChan(c.done) {
 		return net.ErrClosed
 	}
+	if c.ignoreDeadlines {
+		return nil
+	}
 	c.readDL.set(t)
 	c.writeDL.set(t)
 	return nil
@@ -245,6 +264,9 @@ func (c *Conn) SetReadDeadline(t time.Time) error {
 	if isClosedChan(c.done) {
 		return net.ErrClosed
 	}
+	if c.ignoreDeadlines {
+		return nil
+	}
 	c.readDL.set(t)
 	return nil
 }
@@ -253,6 +275,9 @@ func (c *Conn) SetReadDeadline(t time.Time) error {
 func (c *Conn) SetWriteDeadline(t time.Time) error {
 	if isClosedChan(c.done) {
 		return net.ErrClosed
+	}
+	if c.ignoreDeadlines {
+		return nil
 	}
 	c.writeDL.set(t)
 	return nil

@@ -88,6 +88,14 @@ func (c *UDPConn) ReadFrom(p []byte) (int, netip.AddrPort, error) {
 		if isClosedChan(c.readDL.wait()) {
 			return 0, netip.AddrPort{}, os.ErrDeadlineExceeded
 		}
+		// On a manual clock a deadlined read on an empty queue has
+		// already missed its answer: datagram delivery is synchronous
+		// (SendUDP enqueues any response before returning), so nothing
+		// can arrive while we wait and the wall-clock deadline would
+		// only stall the simulation.
+		if _, logical := c.net.clock.(*ManualClock); logical && c.readDL.armed() {
+			return 0, netip.AddrPort{}, os.ErrDeadlineExceeded
+		}
 		select {
 		case <-c.notify:
 		case <-c.readDL.wait():

@@ -20,6 +20,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/bits"
+	"strconv"
 )
 
 // Stream is a deterministic random number stream. It is NOT safe for
@@ -68,6 +69,15 @@ func (r *Stream) Derive(label string) *Stream {
 	h.Write(buf[:])
 	h.Write([]byte(label))
 	return New(h.Sum64())
+}
+
+// DeriveIndexed returns Derive(label + "/" + i) without building the
+// label through fmt. Sharded pipelines derive one stream per shard index
+// — e.g. DeriveIndexed("volume/shard", 3) == Derive("volume/shard/3") —
+// so a shard's stream depends only on the root seed and its index, never
+// on how many goroutines execute the shards.
+func (r *Stream) DeriveIndexed(label string, i int) *Stream {
+	return r.Derive(label + "/" + strconv.Itoa(i))
 }
 
 // Uint64 returns the next 64 bits from the stream.

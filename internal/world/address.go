@@ -93,8 +93,11 @@ func (w *World) AddrAt(d *Device, epoch int64) netip.Addr {
 // CurrentAddr returns the device's address now, registering reachable
 // devices on the fabric and withdrawing their previous address when the
 // epoch rolled over (dynamic-IP churn: scans that arrive later find the
-// old address unrouted and the same device at a new one).
+// old address unrouted and the same device at a new one). It is safe
+// for concurrent use.
 func (w *World) CurrentAddr(d *Device, now time.Time) netip.Addr {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	epoch := d.EpochAt(now, w.Cfg.Start)
 	if epoch == d.lastEpoch {
 		return d.lastAddr

@@ -21,6 +21,7 @@ package world
 import (
 	"fmt"
 	"net/netip"
+	"sync"
 	"time"
 
 	"ntpscan/internal/asn"
@@ -200,7 +201,12 @@ type Device struct {
 	epochLen time.Duration
 	phase    time.Duration
 
-	// registration state for responsive devices.
+	// registration state for responsive devices. mu serialises epoch
+	// rollovers so sharded collection workers can resolve the same
+	// device concurrently; the address itself is a pure function of
+	// (seed, device, epoch), so whichever worker wins sees the same
+	// value.
+	mu        sync.Mutex
 	lastEpoch int64
 	lastAddr  netip.Addr
 	host      *netsim.Host

@@ -37,6 +37,13 @@ type Result struct {
 	Status Status     `json:"status"`
 	Error  string     `json:"error,omitempty"`
 
+	// Seq orders results by submission: targets are numbered serially as
+	// they enter the scanner and each module slot gets a distinct
+	// sequence value, so sinks fed from concurrent workers can restore
+	// the deterministic submission order with a sort. It is scanner
+	// bookkeeping, not part of the zgrab2 envelope.
+	Seq int64 `json:"-"`
+
 	HTTP *HTTPGrab `json:"http,omitempty"`
 	TLS  *TLSGrab  `json:"tls,omitempty"`
 	SSH  *SSHGrab  `json:"ssh,omitempty"`

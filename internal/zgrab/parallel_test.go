@@ -1,0 +1,166 @@
+package zgrab
+
+import (
+	"context"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"ntpscan/internal/netsim"
+)
+
+// The token bucket must meter against the injected clock. A mass run on
+// a manual clock advances weeks in milliseconds of wall time; before
+// the clock was threaded through, such runs silently rate-limited
+// against time.Now() instead.
+func TestTokenBucketLogicalClock(t *testing.T) {
+	start := time.Date(2024, 7, 20, 0, 0, 0, 0, time.UTC)
+	clock := netsim.NewManualClock(start)
+	// 0.001 tokens/s: replenishing one token takes ~17 wall minutes if
+	// the bucket reads real time, but a single logical advance here.
+	tb := NewTokenBucketAt(0.001, 1, clock)
+	ctx := context.Background()
+	if err := tb.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2000 * time.Second)
+	done := make(chan error, 1)
+	go func() { done <- tb.Wait(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("token not replenished from logical time")
+	}
+}
+
+// A waiter that parked before the advance must wake when the logical
+// clock moves, without any wall-clock timer involvement.
+func TestTokenBucketLogicalWake(t *testing.T) {
+	start := time.Date(2024, 7, 20, 0, 0, 0, 0, time.UTC)
+	clock := netsim.NewManualClock(start)
+	tb := NewTokenBucketAt(1, 1, clock)
+	ctx := context.Background()
+	if err := tb.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tb.Wait(ctx) }()
+	// Give the waiter a moment to park, then move logical time.
+	time.Sleep(10 * time.Millisecond)
+	clock.Advance(5 * time.Second)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not wake on clock advance")
+	}
+	// And a parked waiter with no advance obeys cancellation.
+	cctx, cancel := context.WithCancel(ctx)
+	go func() { done <- tb.Wait(cctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled logical wait returned nil")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	f := testFabric()
+	s := NewScanner(Config{Fabric: f, Source: scanSrc, Workers: 2})
+	s.Start(context.Background())
+	s.Close()
+	if s.Submit(netip.MustParseAddr("2001:db8::1")) {
+		t.Fatal("Submit accepted after Close")
+	}
+	if n := s.SubmitBatch([]netip.Addr{netip.MustParseAddr("2001:db8::2")}); n != 0 {
+		t.Fatalf("SubmitBatch accepted %d after Close", n)
+	}
+	s.Close() // double close is a no-op, not a panic
+}
+
+func TestSubmitCloseRace(t *testing.T) {
+	f := testFabric()
+	target := netip.MustParseAddr("2001:db8::d")
+	f.Register(target, fullHost())
+	for round := 0; round < 20; round++ {
+		s := NewScanner(Config{Fabric: f, Source: scanSrc, Workers: 4, Timeout: time.Second})
+		s.Start(context.Background())
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					a := netip.AddrFrom16([16]byte{0x20, 0x01, 0xd, 0xb8, byte(g), byte(i >> 8), byte(i)})
+					s.Submit(a)
+				}
+			}()
+		}
+		s.Close() // races with the submitters; must never panic
+		wg.Wait()
+	}
+}
+
+func TestSubmitBatchAndDrain(t *testing.T) {
+	f := testFabric()
+	target := netip.MustParseAddr("2001:db8::d")
+	f.Register(target, fullHost())
+
+	addrs := make([]netip.Addr, 200)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom16([16]byte{0x20, 0x01, 0xd, 0xb8, 1, byte(i >> 8), byte(i)})
+	}
+	addrs = append(addrs, addrs[0]) // one revisit duplicate
+
+	var mu sync.Mutex
+	var seqs []int64
+	s := NewScanner(Config{
+		Fabric: f, Source: scanSrc, Workers: 8, Timeout: time.Second,
+		Modules: []Module{&HTTPModule{}},
+		OnResult: func(r *Result) {
+			mu.Lock()
+			seqs = append(seqs, r.Seq)
+			mu.Unlock()
+		},
+	})
+	s.Start(context.Background())
+	if n := s.SubmitBatch(addrs); n != 200 {
+		t.Fatalf("accepted %d of 200 distinct", n)
+	}
+	s.Drain()
+	mu.Lock()
+	drained := len(seqs)
+	mu.Unlock()
+	if drained != 200 {
+		t.Fatalf("Drain returned with %d of 200 results", drained)
+	}
+	s.Close()
+
+	// Sequence numbers cover [0, 200) exactly once: batch order is
+	// preserved through the concurrent pool.
+	seen := make(map[int64]bool, len(seqs))
+	for _, q := range seqs {
+		if q < 0 || q >= 200 || seen[q] {
+			t.Fatalf("bad/duplicate seq %d", q)
+		}
+		seen[q] = true
+	}
+
+	submitted, scanned, suppressed, _ := s.Stats()
+	if submitted != 201 || scanned != 200 || suppressed != 1 {
+		t.Fatalf("stats = %d %d %d", submitted, scanned, suppressed)
+	}
+}
+
+func TestDrainWithoutWork(t *testing.T) {
+	s := NewScanner(Config{Fabric: testFabric(), Source: scanSrc, Workers: 2})
+	s.Start(context.Background())
+	s.Drain() // must not block
+	s.Close()
+}

@@ -2,6 +2,7 @@ package zgrab
 
 import (
 	"context"
+	"hash/maphash"
 	"net/netip"
 	"sync"
 	"sync/atomic"
@@ -16,29 +17,57 @@ type Limiter interface {
 	Wait(ctx context.Context) error
 }
 
-// TokenBucket is a real-time token-bucket limiter. The paper caps scans
-// at 100 000 packets per second (Appendix A.2.1).
+// logicalClock is the subset of netsim.ManualClock the token bucket uses
+// to sleep on simulated time instead of wall time.
+type logicalClock interface {
+	Changed() <-chan struct{}
+}
+
+// TokenBucket is a token-bucket limiter. The paper caps scans at
+// 100 000 packets per second (Appendix A.2.1). Time is read from the
+// injected clock: on the system clock it behaves like a classic
+// real-time bucket, on a netsim.ManualClock it replenishes with the
+// experiment's logical time and waiters park on the clock's Changed
+// channel instead of a wall timer — a mass run that advances weeks in
+// milliseconds is no longer silently throttled against real time.
 type TokenBucket struct {
 	mu     sync.Mutex
+	clock  netsim.Clock
 	rate   float64 // tokens per second
 	burst  float64
 	tokens float64
 	last   time.Time
 }
 
-// NewTokenBucket returns a limiter emitting rate tokens/second with the
-// given burst.
+// NewTokenBucket returns a wall-clock limiter emitting rate
+// tokens/second with the given burst (real-socket scanning).
 func NewTokenBucket(rate, burst float64) *TokenBucket {
-	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+	return NewTokenBucketAt(rate, burst, netsim.RealClock{})
+}
+
+// NewTokenBucketAt returns a limiter reading time from clock.
+func NewTokenBucketAt(rate, burst float64, clock netsim.Clock) *TokenBucket {
+	if clock == nil {
+		clock = netsim.RealClock{}
+	}
+	return &TokenBucket{clock: clock, rate: rate, burst: burst, tokens: burst, last: clock.Now()}
 }
 
 // Wait implements Limiter.
 func (tb *TokenBucket) Wait(ctx context.Context) error {
 	for {
+		// Grab the wake channel before reading the clock so an advance
+		// racing with the read cannot be missed.
+		var wake <-chan struct{}
+		if lc, ok := tb.clock.(logicalClock); ok {
+			wake = lc.Changed()
+		}
 		tb.mu.Lock()
-		now := time.Now()
-		tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
-		tb.last = now
+		now := tb.clock.Now()
+		if now.After(tb.last) {
+			tb.tokens += now.Sub(tb.last).Seconds() * tb.rate
+			tb.last = now
+		}
 		if tb.tokens > tb.burst {
 			tb.tokens = tb.burst
 		}
@@ -49,6 +78,16 @@ func (tb *TokenBucket) Wait(ctx context.Context) error {
 		}
 		need := (1 - tb.tokens) / tb.rate
 		tb.mu.Unlock()
+		if wake != nil {
+			// Logical time: only the driver moves the clock, so sleep
+			// until it does.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-wake:
+			}
+			continue
+		}
 		t := time.NewTimer(time.Duration(need * float64(time.Second)))
 		select {
 		case <-ctx.Done():
@@ -72,36 +111,61 @@ func (l *NopLimiter) Wait(context.Context) error {
 // Count returns how many probes passed.
 func (l *NopLimiter) Count() int64 { return l.n.Load() }
 
+// revisitShards is the fan-out of the revisit map. The shard is a pure
+// function of the address, so the same address always serialises on the
+// same lock and distinct addresses almost never contend.
+const revisitShards = 64
+
+var revisitSeed = maphash.MakeSeed()
+
+func revisitShard(addr netip.Addr) int {
+	b := addr.As16()
+	return int(maphash.Bytes(revisitSeed, b[:]) % revisitShards)
+}
+
 // Revisit suppresses re-scans of recently scanned addresses: the paper
 // refrains from re-scanning an address for three days (Appendix A.2.1).
+// The map is hash-sharded so the feed path scales with submitter and
+// worker counts; all methods are safe for concurrent use.
 type Revisit struct {
-	mu    sync.Mutex
-	last  map[netip.Addr]time.Time
-	after time.Duration
+	after  time.Duration
+	shards [revisitShards]struct {
+		mu   sync.Mutex
+		last map[netip.Addr]time.Time
+	}
 }
 
 // NewRevisit returns a suppressor with the given re-scan holdoff.
 func NewRevisit(after time.Duration) *Revisit {
-	return &Revisit{last: make(map[netip.Addr]time.Time), after: after}
+	rv := &Revisit{after: after}
+	for i := range rv.shards {
+		rv.shards[i].last = make(map[netip.Addr]time.Time)
+	}
+	return rv
 }
 
 // Allow reports whether addr may be scanned at now, and records the scan
 // if so.
 func (rv *Revisit) Allow(addr netip.Addr, now time.Time) bool {
-	rv.mu.Lock()
-	defer rv.mu.Unlock()
-	if t, seen := rv.last[addr]; seen && now.Sub(t) < rv.after {
+	sh := &rv.shards[revisitShard(addr)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if t, seen := sh.last[addr]; seen && now.Sub(t) < rv.after {
 		return false
 	}
-	rv.last[addr] = now
+	sh.last[addr] = now
 	return true
 }
 
 // Len returns how many addresses are tracked.
 func (rv *Revisit) Len() int {
-	rv.mu.Lock()
-	defer rv.mu.Unlock()
-	return len(rv.last)
+	n := 0
+	for i := range rv.shards {
+		rv.shards[i].mu.Lock()
+		n += len(rv.shards[i].last)
+		rv.shards[i].mu.Unlock()
+	}
+	return n
 }
 
 // Config assembles a scanner.
@@ -142,7 +206,23 @@ type Config struct {
 	// OnResult receives every grab; it is called from worker
 	// goroutines and must be safe for concurrent use.
 	OnResult func(*Result)
+	// OnResultWorker, when set, is used instead of OnResult and
+	// additionally receives the worker index in [0, Workers). Sinks can
+	// keep one unsynchronised buffer per worker and merge at the end —
+	// the lock-free fast path of the campaign pipeline.
+	OnResultWorker func(worker int, r *Result)
 }
+
+// target is one queued scan with its submission sequence number.
+type target struct {
+	addr netip.Addr
+	seq  int64
+}
+
+// submitChunk bounds how many targets ride one channel operation; the
+// feed amortises channel synchronisation across a chunk instead of
+// paying it per address.
+const submitChunk = 64
 
 // Scanner is the zgrab2-style runtime: submit addresses, modules fan
 // out, results stream to OnResult.
@@ -151,9 +231,22 @@ type Scanner struct {
 	env     *Env
 	revisit *Revisit
 
-	queue   chan netip.Addr
+	queue   chan []target
 	wg      sync.WaitGroup
 	started bool
+
+	// closeMu guards closed and makes Submit/Close race-free: Submit
+	// holds the read side across the enqueue so Close (write side)
+	// cannot close the channel underneath it.
+	closeMu sync.RWMutex
+	closed  bool
+
+	// pending counts enqueued-but-unfinished targets; Drain waits on it.
+	pendingMu   sync.Mutex
+	pendingCond *sync.Cond
+	pending     int
+
+	nextSeq atomic.Int64
 
 	submitted  atomic.Int64
 	scanned    atomic.Int64
@@ -188,7 +281,7 @@ func NewScanner(cfg Config) *Scanner {
 	if cfg.RevisitAfter <= 0 {
 		cfg.RevisitAfter = 72 * time.Hour
 	}
-	return &Scanner{
+	s := &Scanner{
 		cfg: cfg,
 		env: &Env{
 			Net: cfg.Net, Source: cfg.Source, Clock: cfg.Clock,
@@ -196,8 +289,10 @@ func NewScanner(cfg Config) *Scanner {
 			PortOverrides: cfg.PortOverrides,
 		},
 		revisit: NewRevisit(cfg.RevisitAfter),
-		queue:   make(chan netip.Addr, 4096),
+		queue:   make(chan []target, 4096),
 	}
+	s.pendingCond = sync.NewCond(&s.pendingMu)
+	return s
 }
 
 // Start launches the worker pool.
@@ -207,69 +302,162 @@ func (s *Scanner) Start(ctx context.Context) {
 	}
 	s.started = true
 	for i := 0; i < s.cfg.Workers; i++ {
+		worker := i
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for addr := range s.queue {
-				s.scanOne(ctx, addr)
+			for batch := range s.queue {
+				for _, t := range batch {
+					s.scanOne(ctx, worker, t)
+				}
+				s.finish(len(batch))
 			}
 		}()
 	}
 }
 
+// enqueue numbers and queues a pre-filtered batch. Callers hold
+// closeMu.RLock and have checked closed.
+func (s *Scanner) enqueue(batch []target) {
+	for i := range batch {
+		batch[i].seq = s.nextSeq.Add(1) - 1
+	}
+	s.pendingMu.Lock()
+	s.pending += len(batch)
+	s.pendingMu.Unlock()
+	s.queue <- batch
+}
+
+func (s *Scanner) finish(n int) {
+	s.pendingMu.Lock()
+	s.pending -= n
+	if s.pending == 0 {
+		s.pendingCond.Broadcast()
+	}
+	s.pendingMu.Unlock()
+}
+
 // Submit enqueues one target, honouring revisit suppression. It reports
-// whether the address was accepted. Submit blocks when the queue is
-// full (backpressure onto the capture feed).
+// whether the address was accepted; submitting to a closed scanner is a
+// safe no-op returning false. Submit blocks when the queue is full
+// (backpressure onto the capture feed).
 func (s *Scanner) Submit(addr netip.Addr) bool {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return false
+	}
 	s.submitted.Add(1)
 	if !s.revisit.Allow(addr, s.cfg.Clock.Now()) {
 		s.suppressed.Add(1)
 		return false
 	}
-	s.queue <- addr
+	s.enqueue([]target{{addr: addr}})
 	return true
+}
+
+// SubmitBatch enqueues many targets with one channel operation per
+// submitChunk addresses, honouring revisit suppression. It returns how
+// many were accepted; a closed scanner accepts none. Sequence numbers
+// are assigned in slice order, so a single feeding goroutine produces a
+// deterministic result order regardless of worker count.
+func (s *Scanner) SubmitBatch(addrs []netip.Addr) int {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return 0
+	}
+	s.submitted.Add(int64(len(addrs)))
+	accepted := 0
+	now := s.cfg.Clock.Now()
+	chunk := make([]target, 0, submitChunk)
+	for _, addr := range addrs {
+		if !s.revisit.Allow(addr, now) {
+			s.suppressed.Add(1)
+			continue
+		}
+		accepted++
+		chunk = append(chunk, target{addr: addr})
+		if len(chunk) == submitChunk {
+			s.enqueue(chunk)
+			chunk = make([]target, 0, submitChunk)
+		}
+	}
+	if len(chunk) > 0 {
+		s.enqueue(chunk)
+	}
+	return accepted
+}
+
+// Drain blocks until every target submitted so far has been fully
+// scanned. The campaign pipeline drains at each slice boundary so no
+// scan is in flight when the logical clock moves — the source of the
+// pipeline's bit-reproducibility under concurrency.
+func (s *Scanner) Drain() {
+	s.pendingMu.Lock()
+	for s.pending > 0 {
+		s.pendingCond.Wait()
+	}
+	s.pendingMu.Unlock()
 }
 
 // ScanNow scans one address synchronously with all modules, bypassing
 // the queue (used by tests and the batch hitlist run's driver).
 func (s *Scanner) ScanNow(ctx context.Context, addr netip.Addr) []*Result {
+	seq := s.nextSeq.Add(1) - 1
 	out := make([]*Result, 0, len(s.cfg.Modules))
-	for _, m := range s.cfg.Modules {
+	for i, m := range s.cfg.Modules {
 		if err := s.cfg.Limiter.Wait(ctx); err != nil {
 			return out
 		}
 		s.probes.Add(1)
 		r := m.Scan(ctx, s.env, addr)
+		r.Seq = seq*int64(len(s.cfg.Modules)) + int64(i)
 		out = append(out, r)
-		if s.cfg.OnResult != nil {
-			s.cfg.OnResult(r)
-		}
+		s.emit(0, r)
 	}
 	s.scanned.Add(1)
 	return out
 }
 
-func (s *Scanner) scanOne(ctx context.Context, addr netip.Addr) {
+func (s *Scanner) emit(worker int, r *Result) {
+	if s.cfg.OnResultWorker != nil {
+		s.cfg.OnResultWorker(worker, r)
+		return
+	}
+	if s.cfg.OnResult != nil {
+		s.cfg.OnResult(r)
+	}
+}
+
+func (s *Scanner) scanOne(ctx context.Context, worker int, t target) {
 	for i, m := range s.cfg.Modules {
 		if err := s.cfg.Limiter.Wait(ctx); err != nil {
 			return
 		}
 		s.probes.Add(1)
-		r := m.Scan(ctx, s.env, addr)
+		r := m.Scan(ctx, s.env, t.addr)
+		r.Seq = t.seq*int64(len(s.cfg.Modules)) + int64(i)
 		if s.cfg.InterProtocolDelay > 0 {
 			r.Time = r.Time.Add(time.Duration(i) * s.cfg.InterProtocolDelay)
 		}
-		if s.cfg.OnResult != nil {
-			s.cfg.OnResult(r)
-		}
+		s.emit(worker, r)
 	}
 	s.scanned.Add(1)
 }
 
 // Close drains the queue and stops the workers. The scanner cannot be
-// restarted.
+// restarted; Submit calls racing or following Close are rejected rather
+// than panicking.
 func (s *Scanner) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
 	close(s.queue)
+	s.closeMu.Unlock()
 	s.wg.Wait()
 }
 
