@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench
+.PHONY: all check vet build test race bench chaos
 
 all: check
 
@@ -20,6 +20,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection suite under the race detector across a
+# fixed seed matrix: the netsim fault engine, the zgrab retry/breaker
+# machinery, campaign checkpoint/resume, and the end-to-end chaos
+# campaigns in internal/chaos. NTPSCAN_CHAOS_SEEDS overrides the seeds.
+chaos:
+	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
+		$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/zgrab/ ./internal/core/
 
 # bench runs the pipeline benchmarks and records them, with host
 # metadata, in BENCH_pipeline.json. NTPSCAN_SCALE multiplies the bench

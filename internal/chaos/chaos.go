@@ -1,0 +1,148 @@
+// Package chaos generates deterministic fault plans against a deployed
+// pipeline and hosts the end-to-end fault-injection suite. Given a
+// pipeline (for the vantage set and the responsive device population),
+// a seed, and a Spec of how much to break, PlanFor emits a
+// netsim.FaultPlan whose windows land inside the collection window —
+// vantage blackouts, device outages, prefix loss bursts, slow links,
+// and garbled banners. The plan is pure data: the same (pipeline
+// config, seed, spec) always yields the same plan, and the same
+// (pipeline config, plan) always yields the same campaign.
+package chaos
+
+import (
+	"net/netip"
+	"time"
+
+	"ntpscan/internal/core"
+	"ntpscan/internal/netsim"
+	"ntpscan/internal/rng"
+	"ntpscan/internal/world"
+)
+
+// Spec sizes a fault plan. Zero values mean "none of that fault".
+type Spec struct {
+	// VantageBlackouts takes that many vantage servers fully offline
+	// for BlackoutLen each (scores collapse, capture streams pause).
+	VantageBlackouts int
+	BlackoutLen      time.Duration
+
+	// HostOutages reboots that many responsive devices for OutageLen.
+	HostOutages int
+	OutageLen   time.Duration
+
+	// LossBursts rains BurstProb loss on that many /48s for BurstLen.
+	LossBursts int
+	BurstLen   time.Duration
+	BurstProb  float64
+
+	// SlowLinks adds SlowLatency to that many devices for SlowLen
+	// (exceeding the dial timeout turns the device into a timeout).
+	SlowLinks   int
+	SlowLen     time.Duration
+	SlowLatency time.Duration
+
+	// Garbles corrupts that many devices' responses for GarbleLen.
+	Garbles   int
+	GarbleLen time.Duration
+}
+
+// DefaultSpec is a moderately hostile four weeks: a couple of vantage
+// blackouts, a handful of device outages and loss bursts, some broken
+// middleboxes — enough to exercise every recovery path without
+// drowning the campaign.
+func DefaultSpec() Spec {
+	return Spec{
+		VantageBlackouts: 2,
+		BlackoutLen:      30 * time.Hour, // > 4 slices: monitor must react
+		HostOutages:      4,
+		OutageLen:        24 * time.Hour,
+		LossBursts:       3,
+		BurstLen:         36 * time.Hour,
+		BurstProb:        0.5,
+		SlowLinks:        2,
+		SlowLen:          24 * time.Hour,
+		SlowLatency:      time.Second, // far beyond any dial timeout
+		Garbles:          3,
+		GarbleLen:        48 * time.Hour,
+	}
+}
+
+// PlanFor derives a fault plan for the pipeline's world. Targets are
+// drawn from the deployed vantage set and the responsive population
+// with a stream seeded off (pipeline seed, plan seed) only — no
+// dependence on any run-time state, so a plan can be regenerated for a
+// resume by calling PlanFor again with the same arguments.
+func PlanFor(p *core.Pipeline, seed uint64, spec Spec) *netsim.FaultPlan {
+	r := rng.New(seed ^ p.Cfg.Seed ^ 0xfa017)
+	start := p.W.Cfg.Start
+	plan := &netsim.FaultPlan{Seed: seed}
+
+	// window places a fault of length d uniformly inside the collection
+	// window (clipped so it starts strictly after the first slice — the
+	// campaign should always boot cleanly).
+	window := func(d time.Duration) (time.Time, time.Time) {
+		span := world.CollectionWindow - d
+		if span < 0 {
+			span = 0
+		}
+		off := time.Duration(r.Int63() % int64(span+1))
+		from := start.Add(off)
+		return from, from.Add(d)
+	}
+
+	// deviceAddr is the device's address at the window start — a pure
+	// function of the world seed, usable before any collection ran.
+	responsive := p.W.ResponsiveNTP()
+	deviceAddr := func(d *world.Device) netip.Addr {
+		return p.W.AddrAt(d, d.EpochAt(start, start))
+	}
+	pickDevice := func() *world.Device {
+		if len(responsive) == 0 {
+			return nil
+		}
+		return responsive[r.Intn(len(responsive))]
+	}
+
+	for i := 0; i < spec.VantageBlackouts && len(p.Servers) > 0; i++ {
+		vs := p.Servers[r.Intn(len(p.Servers))]
+		from, until := window(spec.BlackoutLen)
+		plan.Add(netsim.Fault{Kind: netsim.FaultOutage, Addr: vs.Addr, From: from, Until: until})
+	}
+	for i := 0; i < spec.HostOutages; i++ {
+		d := pickDevice()
+		if d == nil {
+			break
+		}
+		from, until := window(spec.OutageLen)
+		plan.Add(netsim.Fault{Kind: netsim.FaultOutage, Addr: deviceAddr(d), From: from, Until: until})
+	}
+	for i := 0; i < spec.LossBursts; i++ {
+		d := pickDevice()
+		if d == nil {
+			break
+		}
+		pfx, err := deviceAddr(d).Prefix(48)
+		if err != nil {
+			continue
+		}
+		from, until := window(spec.BurstLen)
+		plan.Add(netsim.Fault{Kind: netsim.FaultLoss, Prefix: pfx, From: from, Until: until, Prob: spec.BurstProb})
+	}
+	for i := 0; i < spec.SlowLinks; i++ {
+		d := pickDevice()
+		if d == nil {
+			break
+		}
+		from, until := window(spec.SlowLen)
+		plan.Add(netsim.Fault{Kind: netsim.FaultSlow, Addr: deviceAddr(d), From: from, Until: until, Latency: spec.SlowLatency})
+	}
+	for i := 0; i < spec.Garbles; i++ {
+		d := pickDevice()
+		if d == nil {
+			break
+		}
+		from, until := window(spec.GarbleLen)
+		plan.Add(netsim.Fault{Kind: netsim.FaultGarble, Addr: deviceAddr(d), From: from, Until: until})
+	}
+	return plan
+}

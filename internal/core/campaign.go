@@ -1,0 +1,284 @@
+// Campaign checkpoint/resume. RunCampaign is RunNTPCampaign with two
+// robustness additions: the merged result stream can be tee'd to a
+// JSONL writer, and the run can snapshot itself at slice boundaries
+// into a Checkpoint — a pure-data, JSON-serialisable record from which
+// ResumeCampaign on a *fresh* pipeline (same Config, same installed
+// FaultPlan) reproduces the uninterrupted run's remaining output
+// byte-for-byte.
+//
+// The checkpoint deliberately contains only deltas: the world itself is
+// a pure function of the seed, so a resumed pipeline rebuilds it from
+// Config and restores just the mutable campaign state — shard stream
+// positions, the first-seen capture log (replayed into fresh dedup
+// accumulators), the responsive first-capture bitmap, scanner state
+// (sequence counter, revisit table, breaker), pool monitor scores, the
+// logical clock, and the output byte offset.
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"ntpscan/internal/analysis"
+	"ntpscan/internal/zgrab"
+)
+
+// CapRecord is one first-seen capture: the minimal fact whose ordered
+// replay reconstructs every dedup'd collection statistic.
+type CapRecord struct {
+	Addr    netip.Addr `json:"addr"`
+	Country string     `json:"country"`
+}
+
+// ShardState is one collection shard's rng stream positions.
+type ShardState struct {
+	Vol   [4]uint64 `json:"vol"`
+	Resp  [4]uint64 `json:"resp"`
+	Ports [4]uint64 `json:"ports"`
+}
+
+// Checkpoint is a resumable snapshot of a campaign, taken at a slice
+// boundary (the drain barrier: no captures or scans in flight). It is
+// plain data — json.Marshal/Unmarshal round-trips it exactly.
+type Checkpoint struct {
+	// Identity guards: a checkpoint only resumes onto a pipeline built
+	// with the same seed and shard decomposition.
+	Seed          uint64 `json:"seed"`
+	CollectShards int    `json:"collect_shards"`
+
+	// NextSlice is the first slice the resumed run executes.
+	NextSlice int       `json:"next_slice"`
+	Time      time.Time `json:"time"` // logical clock at the boundary
+
+	Captures     int64               `json:"captures"`
+	Shards       []ShardState        `json:"shards"`
+	CapturedResp []int               `json:"captured_resp,omitempty"`
+	CapLog       []CapRecord         `json:"cap_log,omitempty"`
+	Scan         zgrab.ScanState     `json:"scan"`
+	PoolScores   map[string]float64  `json:"pool_scores,omitempty"`
+	// OutOffset is how many bytes of JSONL output the run had written;
+	// a resumed run's writer continues exactly here.
+	OutOffset int64 `json:"out_offset"`
+}
+
+// CampaignOpts tunes RunCampaign beyond the plain RunNTPCampaign
+// behaviour.
+type CampaignOpts struct {
+	// Out, when non-nil, receives every scan result as a JSONL line in
+	// deterministic (submission-sequence) order, flushed once per slice.
+	Out io.Writer
+	// CheckpointEvery takes a checkpoint every N slices (0 disables).
+	CheckpointEvery int
+	// OnCheckpoint receives each checkpoint. The pointer and everything
+	// it references belong to the callee.
+	OnCheckpoint func(*Checkpoint)
+}
+
+// countingWriter tracks the output byte offset for checkpoints.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// orderedSink accumulates scan results per worker (lock-free, like
+// resultSink) and flushes them in sequence order at each slice's drain
+// barrier. Per-slice sorting yields the global order: the barrier
+// guarantees every slice-s sequence number precedes every slice-s+1
+// one.
+type orderedSink struct {
+	buckets [][]*zgrab.Result
+	all     []*zgrab.Result
+	cw      *countingWriter
+	enc     *json.Encoder
+}
+
+func newOrderedSink(workers int, out io.Writer) *orderedSink {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &orderedSink{buckets: make([][]*zgrab.Result, workers)}
+	if out != nil {
+		s.cw = &countingWriter{w: out}
+		s.enc = json.NewEncoder(s.cw)
+	}
+	return s
+}
+
+// add is the scanner's OnResultWorker hook.
+func (s *orderedSink) add(worker int, r *zgrab.Result) {
+	s.buckets[worker] = append(s.buckets[worker], r)
+}
+
+// flush drains the buckets in sequence order into the output writer
+// and the accumulated dataset. Call only at a drain barrier.
+func (s *orderedSink) flush() error {
+	var batch []*zgrab.Result
+	for i, b := range s.buckets {
+		batch = append(batch, b...)
+		s.buckets[i] = b[:0]
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Seq < batch[j].Seq })
+	s.all = append(s.all, batch...)
+	if s.enc != nil {
+		for _, r := range batch {
+			if err := s.enc.Encode(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// offset is the JSONL byte position (0 with no writer).
+func (s *orderedSink) offset() int64 {
+	if s.cw == nil {
+		return 0
+	}
+	return s.cw.n
+}
+
+// RunCampaign is the §4.1 collect-and-scan campaign with streaming
+// output and checkpointing. With zero opts it produces exactly
+// RunNTPCampaign's dataset.
+func (p *Pipeline) RunCampaign(ctx context.Context, opts CampaignOpts) (*analysis.Dataset, error) {
+	return p.runCampaignFrom(ctx, 0, opts)
+}
+
+// ResumeCampaign continues a checkpointed campaign on a freshly built
+// pipeline. The pipeline must have been constructed with the same
+// Config (seed, scales, shards) — and the same FaultPlan installed —
+// as the run that took the checkpoint; the resumed run then emits the
+// exact output the uninterrupted run would have produced from
+// cp.OutOffset onward.
+func (p *Pipeline) ResumeCampaign(ctx context.Context, cp *Checkpoint, opts CampaignOpts) (*analysis.Dataset, error) {
+	if err := p.restore(cp); err != nil {
+		return nil, err
+	}
+	return p.runCampaignFrom(ctx, cp.NextSlice, opts)
+}
+
+// runCampaignFrom drives collection from startSlice with the scan feed
+// attached, flushing output and taking checkpoints at slice
+// boundaries.
+func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts CampaignOpts) (*analysis.Dataset, error) {
+	p.recordCaps = true
+	sink := newOrderedSink(p.Cfg.Workers, opts.Out)
+	if p.restoreCp != nil && sink.cw != nil {
+		sink.cw.n = p.restoreCp.OutOffset
+	}
+	scanner := p.newScanner(sink.add)
+	if p.restoreCp != nil {
+		scanner.Restore(p.restoreCp.Scan)
+	}
+	scanner.Start(ctx)
+
+	var werr error
+	p.collectFrom(startSlice, func(batch []netip.Addr) {
+		scanner.SubmitBatch(batch)
+	}, scanner.Drain, func(next int, shards []*collectShard) {
+		if err := sink.flush(); err != nil && werr == nil {
+			werr = err
+		}
+		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil &&
+			next < collectSlices && next%opts.CheckpointEvery == 0 {
+			opts.OnCheckpoint(p.checkpoint(next, shards, scanner, sink.offset()))
+		}
+	})
+	scanner.Close()
+	if err := sink.flush(); err != nil && werr == nil {
+		werr = err
+	}
+	p.restoreCp = nil
+	return analysis.NewDataset("ntp", sink.all), werr
+}
+
+// checkpoint snapshots the campaign at a drain barrier. next is the
+// first slice still to run; shards are quiescent.
+func (p *Pipeline) checkpoint(next int, shards []*collectShard, scanner *zgrab.Scanner, outOffset int64) *Checkpoint {
+	cp := &Checkpoint{
+		Seed:          p.Cfg.Seed,
+		CollectShards: p.Cfg.CollectShards,
+		NextSlice:     next,
+		Time:          p.W.Clock().Now(),
+		Captures:      p.captures.Load(),
+		Shards:        make([]ShardState, len(shards)),
+		CapLog:        append([]CapRecord(nil), p.capLog...),
+		Scan:          scanner.Snapshot(),
+		PoolScores:    make(map[string]float64, len(p.Servers)),
+		OutOffset:     outOffset,
+	}
+	for i, sh := range shards {
+		cp.Shards[i] = ShardState{
+			Vol:   sh.vol.State(),
+			Resp:  sh.resp.State(),
+			Ports: sh.ports.State(),
+		}
+	}
+	for i, done := range p.respCaptured {
+		if done {
+			cp.CapturedResp = append(cp.CapturedResp, i)
+		}
+	}
+	for _, vs := range p.Servers {
+		cp.PoolScores[vs.ID] = p.Pool.Score(vs.ID)
+	}
+	return cp
+}
+
+// restore rebuilds the checkpointed campaign state on a fresh
+// pipeline: clock, pool health, dedup accumulators (by replaying the
+// first-seen capture log), the responsive bitmap, and the shard stream
+// positions (applied lazily when makeCollectShards runs).
+func (p *Pipeline) restore(cp *Checkpoint) error {
+	if cp.Seed != p.Cfg.Seed {
+		return fmt.Errorf("core: checkpoint seed %d does not match pipeline seed %d", cp.Seed, p.Cfg.Seed)
+	}
+	if cp.CollectShards != p.Cfg.CollectShards || len(cp.Shards) != p.Cfg.CollectShards {
+		return fmt.Errorf("core: checkpoint has %d shards, pipeline %d", len(cp.Shards), p.Cfg.CollectShards)
+	}
+	if cp.NextSlice < 1 || cp.NextSlice > collectSlices {
+		return fmt.Errorf("core: checkpoint slice %d out of range", cp.NextSlice)
+	}
+	if p.captures.Load() != 0 {
+		return fmt.Errorf("core: resume requires a fresh pipeline")
+	}
+	p.restoreCp = cp
+	if clock := p.W.Clock(); cp.Time.After(clock.Now()) {
+		clock.Set(cp.Time)
+	}
+	for id, score := range cp.PoolScores {
+		p.Pool.SetScore(id, score)
+	}
+	p.captures.Store(cp.Captures)
+	// Replay the first-seen log: each address re-Added exactly once
+	// restores every dedup'd statistic; the world's fabric registration
+	// side effects are not needed here (any address scanned after the
+	// resume point is re-registered by its own capture's CurrentAddr).
+	for _, rec := range cp.CapLog {
+		p.euiShards.Add(rec.Addr, rec.Country)
+		if p.sumShards.Add(rec.Addr) {
+			if n := p.perCountryN[rec.Country]; n != nil {
+				n.Add(1)
+			}
+		}
+	}
+	p.capLog = append(p.capLog, cp.CapLog...)
+	p.responsive() // size the bitmap
+	for _, i := range cp.CapturedResp {
+		if i >= 0 && i < len(p.respCaptured) {
+			p.respCaptured[i] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// RunCampaign with zero options must be RunNTPCampaign exactly.
+func TestRunCampaignMatchesNTPCampaign(t *testing.T) {
+	cfg := testConfig(11)
+	cfg.CaptureBudget = 2000
+
+	p1 := NewPipeline(cfg)
+	d1 := p1.RunNTPCampaign(context.Background())
+
+	p2 := NewPipeline(cfg)
+	d2, err := p2.RunCampaign(context.Background(), CampaignOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := datasetDigest(t, d2), datasetDigest(t, d1); got != want {
+		t.Fatalf("RunCampaign digest %x, want RunNTPCampaign's %x", got, want)
+	}
+}
+
+// The JSONL writer must carry the same results as the returned dataset,
+// in the same order.
+func TestCampaignOutputIsOrderedJSONL(t *testing.T) {
+	cfg := testConfig(12)
+	cfg.CaptureBudget = 1500
+	var out bytes.Buffer
+	p := NewPipeline(cfg)
+	ds, err := p.RunCampaign(context.Background(), CampaignOpts{Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	enc := json.NewEncoder(&want)
+	for _, r := range ds.Results {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out.Bytes(), want.Bytes()) {
+		t.Fatalf("JSONL output (%d bytes) diverges from dataset encoding (%d bytes)",
+			out.Len(), want.Len())
+	}
+}
+
+// Checkpoints survive a JSON round trip unchanged.
+func TestCheckpointJSONRoundTrip(t *testing.T) {
+	cfg := testConfig(13)
+	cfg.CaptureBudget = 1000
+	var cps []*Checkpoint
+	p := NewPipeline(cfg)
+	if _, err := p.RunCampaign(context.Background(), CampaignOpts{
+		CheckpointEvery: 32,
+		OnCheckpoint:    func(cp *Checkpoint) { cps = append(cps, cp) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints taken")
+	}
+	for i, cp := range cps {
+		blob, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Checkpoint
+		if err := json.Unmarshal(blob, &back); err != nil {
+			t.Fatal(err)
+		}
+		blob2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Errorf("checkpoint %d changed across JSON round trip", i)
+		}
+	}
+}
+
+// Clean kill-and-resume: a fresh pipeline resumed from any checkpoint
+// reproduces the uninterrupted run's remaining output byte-for-byte.
+func TestResumeReproducesCleanCampaign(t *testing.T) {
+	cfg := testConfig(14)
+	cfg.CaptureBudget = 2000
+
+	var full bytes.Buffer
+	var cps []*Checkpoint
+	p1 := NewPipeline(cfg)
+	_, err := p1.RunCampaign(context.Background(), CampaignOpts{
+		Out:             &full,
+		CheckpointEvery: 24,
+		OnCheckpoint:    func(cp *Checkpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 3 {
+		t.Fatalf("expected 3 checkpoints, got %d", len(cps))
+	}
+
+	for i, cp := range cps {
+		var rest bytes.Buffer
+		p2 := NewPipeline(cfg)
+		_, err := p2.ResumeCampaign(context.Background(), cp, CampaignOpts{Out: &rest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := full.Bytes()[cp.OutOffset:]
+		if !bytes.Equal(rest.Bytes(), want) {
+			t.Errorf("checkpoint %d (slice %d): resumed output %d bytes, want %d",
+				i, cp.NextSlice, rest.Len(), len(want))
+			continue
+		}
+		if p2.Captures != p1.Captures {
+			t.Errorf("checkpoint %d: resumed Captures = %d, want %d", i, p2.Captures, p1.Captures)
+		}
+		if got, want := fmt.Sprintf("%+v", p2.Summary.Stats()), fmt.Sprintf("%+v", p1.Summary.Stats()); got != want {
+			t.Errorf("checkpoint %d: resumed Summary diverges", i)
+		}
+	}
+}
+
+// A checkpoint refuses to resume onto a mismatched pipeline.
+func TestResumeValidation(t *testing.T) {
+	cfg := testConfig(15)
+	cfg.CaptureBudget = 1000
+	var cps []*Checkpoint
+	p := NewPipeline(cfg)
+	if _, err := p.RunCampaign(context.Background(), CampaignOpts{
+		CheckpointEvery: 48,
+		OnCheckpoint:    func(cp *Checkpoint) { cps = append(cps, cp) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	cp := cps[0]
+
+	bad := testConfig(16) // wrong seed
+	bad.CaptureBudget = 1000
+	if _, err := NewPipeline(bad).ResumeCampaign(context.Background(), cp, CampaignOpts{}); err == nil {
+		t.Error("resume accepted a checkpoint from a different seed")
+	}
+	if _, err := p.ResumeCampaign(context.Background(), cp, CampaignOpts{}); err == nil {
+		t.Error("resume accepted a non-fresh pipeline")
+	}
+}

@@ -29,6 +29,10 @@ type collectShard struct {
 	ntp map[string]*ntp.Server
 	// feed buffers this shard's captures within the current slice.
 	feed []netip.Addr
+	// capLog buffers this shard's first-seen captures for the
+	// checkpoint log (only when the pipeline records captures); gathered
+	// in shard order at the slice boundary like feed.
+	capLog []CapRecord
 	// volumeStats gates collection statistics: only volume-channel
 	// captures count toward Tables 1/4/7 and Figures 1/4. The
 	// responsive channel is a DeviceScale population — at full scale it
@@ -40,7 +44,8 @@ type collectShard struct {
 
 // makeCollectShards derives the shard set. Shard i's streams are
 // Derive("volume/shard/i") etc. off the pipeline stream — stable across
-// runs and independent of the worker count.
+// runs and independent of the worker count. On a resumed pipeline the
+// streams are fast-forwarded to their checkpointed positions instead.
 func (p *Pipeline) makeCollectShards() []*collectShard {
 	shards := make([]*collectShard, p.Cfg.CollectShards)
 	for i := range shards {
@@ -50,6 +55,12 @@ func (p *Pipeline) makeCollectShards() []*collectShard {
 			resp:  p.rng.DeriveIndexed("responsive/shard", i),
 			ports: p.rng.DeriveIndexed("ports/shard", i),
 			ntp:   make(map[string]*ntp.Server, len(p.Servers)),
+		}
+		if p.restoreCp != nil && i < len(p.restoreCp.Shards) {
+			st := p.restoreCp.Shards[i]
+			sh.vol.SetState(st.Vol)
+			sh.resp.SetState(st.Resp)
+			sh.ports.SetState(st.Ports)
 		}
 		for _, vs := range p.Servers {
 			country := vs.Country
@@ -104,27 +115,48 @@ func (p *Pipeline) Collect(feed func(netip.Addr)) {
 // non-nil, runs after each slice's batches — the campaign uses it to
 // complete all in-flight scans before the clock moves.
 func (p *Pipeline) collect(batch func([]netip.Addr), drain func()) {
+	p.collectFrom(0, batch, drain, nil)
+}
+
+// collectSlices is the collection window's time resolution: 7-hour
+// steps across four weeks. Also the granularity of monitor sweeps,
+// breaker transitions, and checkpoints.
+const collectSlices = 96
+
+// sliceTime maps a slice index onto the logical timeline.
+func (p *Pipeline) sliceTime(s int) time.Time {
+	return p.W.Cfg.Start.Add(world.CollectionWindow * time.Duration(s) / collectSlices)
+}
+
+// collectFrom is collect starting at an arbitrary slice (resume path).
+// onSlice, when non-nil, runs after each slice is fully drained — the
+// quiescent point where the checkpointer snapshots shard streams.
+func (p *Pipeline) collectFrom(startSlice int, batch func([]netip.Addr), drain func(), onSlice func(next int, shards []*collectShard)) {
 	budget := p.Cfg.CaptureBudget
 	if budget == 0 {
 		budget = 3 * p.expectedDistinct()
 	}
 	clock := p.W.Clock()
-	start := p.W.Cfg.Start
 
-	// Per-country event quotas: sync mass x tuned share.
+	// Per-country event quotas: sync mass x tuned share. The share is
+	// the score-blind configured one — budgets are part of the
+	// experiment definition and must not bend to whatever health the
+	// monitor sees at planning time (a resumed campaign re-plans here
+	// and has to land on the identical quota set).
 	var quotas []collectQuota
 	totalWeight := 0.0
 	for _, vs := range p.Servers {
-		totalWeight += p.W.SyncMass(vs.Country) * p.Pool.ShareEstimate(vs.Country)
+		totalWeight += p.W.SyncMass(vs.Country) * p.Pool.ConfiguredShare(vs.Country)
 	}
 	if totalWeight > 0 {
 		for _, vs := range p.Servers {
-			w := p.W.SyncMass(vs.Country) * p.Pool.ShareEstimate(vs.Country)
+			w := p.W.SyncMass(vs.Country) * p.Pool.ConfiguredShare(vs.Country)
 			quotas = append(quotas, collectQuota{vs: vs, events: int(float64(budget) * w / totalWeight)})
 		}
 	}
 
-	// Warm the responsive-population cache before fanning out.
+	// Warm the responsive-population cache (and its capture bitmap)
+	// before fanning out.
 	p.responsive()
 
 	shards := p.makeCollectShards()
@@ -145,21 +177,35 @@ func (p *Pipeline) collect(batch func([]netip.Addr), drain func()) {
 	// clock is frozen: shards run in parallel, their feeds are merged
 	// in shard order, and drain completes the slice's scans before the
 	// next Set.
-	const slices = 96 // 7-hour steps across four weeks
-	for s := 0; s < slices; s++ {
-		sliceTime := start.Add(world.CollectionWindow * time.Duration(s) / slices)
-		if sliceTime.After(clock.Now()) {
-			clock.Set(sliceTime)
+	for s := startSlice; s < collectSlices; s++ {
+		if st := p.sliceTime(s); st.After(clock.Now()) {
+			clock.Set(st)
 		}
-		p.runShards(shards, workers, s, slices, quotas)
+		// Monitor sweep: one health probe per vantage per slice. On a
+		// clean run every probe succeeds and scores stay pinned at the
+		// maximum; under an outage fault the score collapses below
+		// MinScore within one slice (asymmetric penalty), pausing the
+		// vantage's capture stream, and recovers two slices after the
+		// fault lifts.
+		for _, vs := range p.Servers {
+			p.Monitor.Check(vs.ID, p.W.Fabric().HostUp(vs.Addr, clock.Now()))
+		}
+		p.runShards(shards, workers, s, collectSlices, quotas)
 		for _, sh := range shards {
 			if batch != nil && len(sh.feed) > 0 {
 				batch(sh.feed)
 			}
 			sh.feed = sh.feed[:0]
+			if len(sh.capLog) > 0 {
+				p.capLog = append(p.capLog, sh.capLog...)
+				sh.capLog = sh.capLog[:0]
+			}
 		}
 		if drain != nil {
 			drain()
+		}
+		if onSlice != nil {
+			onSlice(s+1, shards)
 		}
 	}
 
@@ -173,6 +219,13 @@ func (p *Pipeline) collect(batch func([]netip.Addr), drain func()) {
 			p.PerCountry[country] = v
 		}
 	}
+}
+
+// vantageUp reports whether the vantage is in pool rotation (monitor
+// score above the cutoff). Collection pauses for drained vantages; the
+// zone's sync traffic falls to the background servers meanwhile.
+func (p *Pipeline) vantageUp(vs *VantageServer) bool {
+	return p.Pool.Healthy(vs.ID)
 }
 
 // runShards executes one slice across the shard set with up to workers
@@ -214,6 +267,12 @@ func (p *Pipeline) runShards(shards []*collectShard, workers, s, slices int, quo
 func (p *Pipeline) runShardSlice(sh *collectShard, s, slices, nshards int, quotas []collectQuota) {
 	clock := p.W.Clock()
 	for _, q := range quotas {
+		if !p.vantageUp(q.vs) {
+			// Drained by the monitor: no sync lands on this vantage
+			// this slice — background servers absorb the zone's
+			// traffic, and these capture events simply never happen.
+			continue
+		}
 		// The slice's event count for this country...
 		n := q.events / slices
 		if s < q.events%slices {
@@ -240,10 +299,15 @@ func (p *Pipeline) runShardSlice(sh *collectShard, s, slices, nshards int, quota
 
 // responsiveShardSlice captures the shard's portion of the responsive
 // population for one slice. Device i belongs to shard i%nshards and is
-// first captured in slice i%slices (spreading the population over the
-// window), then re-captured in later epochs with probability derived
-// from ResponsiveDupRate — drawn from the shard's own stream, so the
-// decision sequence is fixed per shard regardless of worker count.
+// due for its first capture in slice i%slices (spreading the
+// population over the window); if that slice falls while the device's
+// vantage is drained, or the sync itself is lost, the capture is
+// retried every following slice until it lands (the device keeps
+// syncing — a four-week window makes eventual capture near-certain
+// even under faults). Once captured, dynamic devices are re-captured
+// in later epochs with probability derived from ResponsiveDupRate —
+// drawn from the shard's own stream, so the decision sequence is fixed
+// per shard regardless of worker count.
 func (p *Pipeline) responsiveShardSlice(sh *collectShard, s, slices, nshards int) {
 	clock := p.W.Clock()
 	for i, dev := range p.responsive() {
@@ -255,14 +319,26 @@ func (p *Pipeline) responsiveShardSlice(sh *collectShard, s, slices, nshards int
 			continue
 		}
 		first := i % slices
-		switch {
-		case s == first:
-			addr := p.W.CurrentAddr(dev, clock.Now())
-			p.captureVia(sh, vs, addr)
-		case s > first && dev.Profile.PrefixEpochs > 1:
-			// Dynamic devices may be re-captured after renumbering.
+		if s < first {
+			continue
+		}
+		if !p.respCaptured[i] {
+			// First capture, or catch-up after an outage/loss ate it.
+			// Shard sh owns index i, so the bitmap write is race-free.
+			if p.vantageUp(vs) {
+				addr := p.W.CurrentAddr(dev, clock.Now())
+				if p.captureVia(sh, vs, addr) == nil {
+					p.respCaptured[i] = true
+				}
+			}
+			continue
+		}
+		if s > first && dev.Profile.PrefixEpochs > 1 {
+			// Dynamic devices may be re-captured after renumbering. The
+			// stream is drawn before the health check so the shard's
+			// draw schedule does not depend on the fault plan's timing.
 			perSlice := p.Cfg.ResponsiveDupRate / float64(slices-first)
-			if sh.resp.Bool(perSlice) {
+			if sh.resp.Bool(perSlice) && p.vantageUp(vs) {
 				addr := p.W.CurrentAddr(dev, clock.Now())
 				p.captureVia(sh, vs, addr)
 			}
@@ -270,10 +346,12 @@ func (p *Pipeline) responsiveShardSlice(sh *collectShard, s, slices, nshards int
 	}
 }
 
-// responsive caches the responsive NTP population.
+// responsive caches the responsive NTP population and sizes its
+// first-capture bitmap.
 func (p *Pipeline) responsive() []*world.Device {
 	if p.respCache == nil {
 		p.respCache = p.W.ResponsiveNTP()
+		p.respCaptured = make([]bool, len(p.respCache))
 	}
 	return p.respCache
 }

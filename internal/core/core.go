@@ -32,6 +32,7 @@ import (
 	"ntpscan/internal/ntppool"
 	"ntpscan/internal/rng"
 	"ntpscan/internal/world"
+	"ntpscan/internal/zgrab"
 )
 
 // Config tunes the pipeline.
@@ -71,6 +72,16 @@ type Config struct {
 	// hook cannot tag a shard); used by tests and small demos to prove
 	// equivalence.
 	FullPacketNTP bool
+	// Faults, when set, is installed on the fabric at construction: the
+	// campaign runs under the plan's scheduled outages, loss bursts,
+	// slow links and garbled banners. The (Seed, Faults) pair defines
+	// the experiment exactly as Seed alone does a clean one.
+	Faults *netsim.FaultPlan
+	// Retry gives each scan probe retries with exponential backoff
+	// (nil: single attempt, the pre-robustness behaviour).
+	Retry *zgrab.RetryPolicy
+	// Breaker enables the scanner's per-prefix circuit breaker.
+	Breaker *zgrab.BreakerConfig
 }
 
 func (c *Config) fillDefaults() {
@@ -120,6 +131,11 @@ type Pipeline struct {
 	W    *world.World
 	Pool *ntppool.Pool
 	Ctx  *analysis.Context
+	// Monitor is the pool's health monitor. The collection driver
+	// probes every vantage once per slice; a blacked-out vantage drops
+	// below MinScore, its capture stream pauses, and the zone's traffic
+	// re-maps to the remaining weights until it recovers.
+	Monitor *ntppool.Monitor
 
 	Servers []*VantageServer
 
@@ -155,6 +171,25 @@ type Pipeline struct {
 	// registered vantage server's hook cannot tag a shard, so shards
 	// run one at a time in that mode.
 	activeShard *collectShard
+
+	// respCaptured tracks which responsive devices have had their
+	// guaranteed first capture. Indexed like responsive(); shard i owns
+	// indices ≡ i (mod nshards), so concurrent writes never touch the
+	// same element. A device whose slice fell inside a vantage outage
+	// stays unmarked and is caught up in the next healthy slice — the
+	// self-healing that lets faulted campaigns converge to clean ones.
+	respCaptured []bool
+
+	// recordCaps turns on the capture log feeding checkpoints: each
+	// first-seen (addr, country) pair, in capture order. Replaying the
+	// log into fresh accumulators reproduces Summary/EUI/PerCountry
+	// exactly on resume.
+	recordCaps bool
+	capLog     []CapRecord
+
+	// restoreCp, when set, seeds makeCollectShards with checkpointed
+	// stream positions instead of fresh derivations.
+	restoreCp *Checkpoint
 }
 
 // NewPipeline builds the world and deploys the vantage servers.
@@ -179,8 +214,21 @@ func NewPipeline(cfg Config) *Pipeline {
 	p.EUI = analysis.NewEUI64Stats(p.Ctx)
 	p.sumShards = analysis.NewShardedAddrSummary(p.Ctx)
 	p.euiShards = analysis.NewShardedEUI64Stats(p.Ctx)
+	p.Monitor = ntppool.NewMonitor(p.Pool)
 	p.deployServers()
+	if cfg.Faults != nil {
+		w.Fabric().InstallFaults(cfg.Faults)
+	}
 	return p
+}
+
+// InstallFaults installs (or, with nil, removes) a fault plan on the
+// running pipeline's fabric. Install before the campaign starts; the
+// same plan must be installed on a fresh pipeline before resuming one
+// of its checkpoints.
+func (p *Pipeline) InstallFaults(plan *netsim.FaultPlan) {
+	p.Cfg.Faults = plan
+	p.W.Fabric().InstallFaults(plan)
 }
 
 // deployServers places one capture server per vantage country (§3.1
@@ -250,6 +298,13 @@ func (p *Pipeline) recordCaptureShard(sh *collectShard, addr netip.Addr, country
 		p.euiShards.Add(addr, country)
 		if p.sumShards.Add(addr) {
 			p.perCountryN[country].Add(1)
+			if p.recordCaps {
+				// First sighting: log it so a resume can replay the
+				// accumulator state. Only fresh addresses are logged —
+				// re-Adding each exactly once restores every dedup'd
+				// statistic.
+				sh.capLog = append(sh.capLog, CapRecord{Addr: addr, Country: country})
+			}
 		}
 	}
 	if sh != nil {
@@ -266,6 +321,13 @@ func (p *Pipeline) recordCaptureShard(sh *collectShard, addr netip.Addr, country
 func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.Addr) error {
 	now := p.W.Clock().Now()
 	port := 40000 + uint16(sh.ports.Intn(20000))
+	if !p.W.Fabric().HostUp(vs.Addr, now) {
+		// The vantage is blacked out by the fault plan: the sync never
+		// completes, on either capture path. (The port draw above still
+		// happened, keeping the shard's stream schedule independent of
+		// the plan's timing.)
+		return fmt.Errorf("core: vantage %s is down", vs.ID)
+	}
 	if p.Cfg.FullPacketNTP {
 		// The fabric has no latency: a response either arrives
 		// immediately or was lost. A short timeout keeps lossy mass

@@ -41,10 +41,12 @@ func TestLossReducesFullPacketCaptures(t *testing.T) {
 	if lossy.Captures == 0 {
 		t.Fatal("all captures lost at 50% loss")
 	}
-	// Roughly half the request packets vanish (and some responses too,
-	// but capture happens server-side on request arrival).
+	// Roughly half the volume-channel request packets vanish (capture
+	// happens server-side on request arrival). The responsive channel
+	// self-heals — a lost first capture is retried in later slices — so
+	// the overall ratio sits somewhat above the raw loss rate.
 	ratio := float64(lossy.Captures) / float64(clean.Captures)
-	if ratio < 0.3 || ratio > 0.7 {
+	if ratio < 0.35 || ratio > 0.85 {
 		t.Fatalf("capture ratio %.2f far from the configured loss", ratio)
 	}
 }

@@ -51,8 +51,9 @@ func (s *resultSink) merged() []*zgrab.Result {
 	return all
 }
 
-// newScanner assembles a scanner wired to the pipeline's fabric.
-func (p *Pipeline) newScanner(sink *resultSink) *zgrab.Scanner {
+// newScanner assembles a scanner wired to the pipeline's fabric,
+// carrying the pipeline's retry policy and breaker configuration.
+func (p *Pipeline) newScanner(add func(worker int, r *zgrab.Result)) *zgrab.Scanner {
 	return zgrab.NewScanner(zgrab.Config{
 		Fabric:         p.W.Fabric(),
 		Clock:          p.W.Clock(),
@@ -60,7 +61,9 @@ func (p *Pipeline) newScanner(sink *resultSink) *zgrab.Scanner {
 		Timeout:        p.Cfg.Timeout,
 		UDPTimeout:     p.Cfg.UDPTimeout,
 		Workers:        p.Cfg.Workers,
-		OnResultWorker: sink.add,
+		Retry:          p.Cfg.Retry,
+		Breaker:        p.Cfg.Breaker,
+		OnResultWorker: add,
 	})
 }
 
@@ -70,16 +73,11 @@ func (p *Pipeline) newScanner(sink *resultSink) *zgrab.Scanner {
 // order and drained before the logical clock moves, so the dataset is
 // bit-identical for a given (seed, scale) at any worker count. It
 // returns the scan dataset; collection statistics live on the pipeline
-// afterwards.
+// afterwards. (This is RunCampaign with no output writer and no
+// checkpoints.)
 func (p *Pipeline) RunNTPCampaign(ctx context.Context) *analysis.Dataset {
-	sink := newResultSink(p.Cfg.Workers)
-	scanner := p.newScanner(sink)
-	scanner.Start(ctx)
-	p.collect(func(batch []netip.Addr) {
-		scanner.SubmitBatch(batch)
-	}, scanner.Drain)
-	scanner.Close()
-	return analysis.NewDataset("ntp", sink.merged())
+	ds, _ := p.RunCampaign(ctx, CampaignOpts{})
+	return ds
 }
 
 // CollectOnly runs the collection without scanning (Table 1 runs).
@@ -102,7 +100,7 @@ func (p *Pipeline) BuildHitlist(cfg hitlist.Config) *hitlist.Hitlist {
 // unfiltered variant, §4.1) and returns the dataset.
 func (p *Pipeline) ScanHitlist(ctx context.Context, h *hitlist.Hitlist) *analysis.Dataset {
 	sink := newResultSink(p.Cfg.Workers)
-	scanner := p.newScanner(sink)
+	scanner := p.newScanner(sink.add)
 	scanner.Start(ctx)
 	scanner.SubmitBatch(h.Full)
 	scanner.Close()

@@ -1,0 +1,40 @@
+package netsim
+
+// Typed dial/socket errors. They implement net.Error so callers can
+// classify failures structurally (Timeout/Temporary) instead of
+// matching error strings — the scanner's retry layer depends on this.
+
+// Error is a simulated network error carrying the kernel-style
+// timeout/temporary classification.
+type Error struct {
+	msg       string
+	timeout   bool
+	temporary bool
+}
+
+// Error implements error.
+func (e *Error) Error() string { return e.msg }
+
+// Timeout implements net.Error: the operation failed because nothing
+// answered before a deadline (filtered port, unrouted space, injected
+// outage or loss).
+func (e *Error) Timeout() bool { return e.timeout }
+
+// Temporary implements net.Error: retrying may succeed (timeouts can be
+// transient loss; refusals are definitive).
+func (e *Error) Temporary() bool { return e.temporary }
+
+// Errors returned by dial and socket operations, mirroring kernel
+// network errors. They are sentinel values: compare with errors.Is.
+var (
+	// ErrConnRefused is returned when the destination host exists but
+	// the port is closed (RST semantics). Not a timeout, not temporary:
+	// the host answered, definitively.
+	ErrConnRefused = &Error{msg: "netsim: connection refused"}
+	// ErrTimeout is returned when the destination never answers
+	// (filtered port, unrouted address, injected fault, or lossy
+	// blackhole). Timeout and temporary: the cause may be transient.
+	ErrTimeout = &Error{msg: "netsim: i/o timeout", timeout: true, temporary: true}
+	// ErrPortInUse is returned when binding an already-bound UDP socket.
+	ErrPortInUse = &Error{msg: "netsim: address already in use"}
+)

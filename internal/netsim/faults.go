@@ -1,0 +1,359 @@
+// Deterministic fault injection. A FaultPlan is a schedule of
+// logical-clock-windowed network pathologies — host outages, bursty
+// per-prefix loss, slow links, garbled responses — installed on the
+// fabric before (or during) a run. Every stochastic decision the plan
+// makes is a pure hash of (plan seed, flow identity, logical time,
+// dial attempt), never a draw from a shared stream: goroutine
+// interleaving cannot change which packets die, so a faulted campaign
+// is exactly as replayable as a clean one.
+package netsim
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/netip"
+	"time"
+)
+
+// FaultKind selects the pathology a Fault injects.
+type FaultKind uint8
+
+const (
+	// FaultOutage takes the scoped hosts fully offline for the window:
+	// TCP dials blackhole, UDP vanishes in both directions. Models
+	// reboots, link failures, and vantage-server blackouts.
+	FaultOutage FaultKind = iota
+	// FaultLoss drops each packet to or from the scope with probability
+	// Prob for the window — the bursty, prefix-correlated loss real
+	// IPv6 paths exhibit, as opposed to Config.LossProb's uniform rain.
+	FaultLoss
+	// FaultSlow adds Latency to the path. When the injected latency
+	// exceeds the dialer's patience (Config.DialTimeout) the connection
+	// attempt times out; otherwise it only shifts timestamps.
+	FaultSlow
+	// FaultGarble corrupts responses from the scoped hosts: TCP streams
+	// are truncated mid-banner with a flipped trailing byte, UDP
+	// responses are clipped and corrupted. Requests go through intact —
+	// the host is up but broken.
+	FaultGarble
+)
+
+// String names the kind for logs and test output.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultOutage:
+		return "outage"
+	case FaultLoss:
+		return "loss"
+	case FaultSlow:
+		return "slow"
+	case FaultGarble:
+		return "garble"
+	}
+	return "unknown"
+}
+
+// Fault is one scheduled event. Scope is either a single address
+// (Addr valid) or every address under Prefix (Prefix valid); the
+// window is [From, Until) on the fabric's logical clock.
+type Fault struct {
+	Kind FaultKind     `json:"kind"`
+	Addr netip.Addr    `json:"addr,omitempty"`
+	// Prefix scopes the fault to a routing aggregate (e.g. a /48 going
+	// dark). Ignored when Addr is valid.
+	Prefix netip.Prefix  `json:"prefix,omitempty"`
+	From   time.Time     `json:"from"`
+	Until  time.Time     `json:"until"`
+	Prob   float64       `json:"prob,omitempty"`    // FaultLoss drop probability
+	Latency time.Duration `json:"latency,omitempty"` // FaultSlow injected delay
+}
+
+func (f *Fault) activeAt(at time.Time) bool {
+	return !at.Before(f.From) && at.Before(f.Until)
+}
+
+// FaultPlan is an immutable schedule of faults plus the seed that
+// drives their stochastic decisions. Build one with Add, then install
+// it with Network.InstallFaults; do not mutate a plan after
+// installation.
+type FaultPlan struct {
+	Seed   uint64  `json:"seed"`
+	Faults []Fault `json:"faults"`
+
+	// Indexes, built by InstallFaults: exact-address faults by address,
+	// prefix faults as a linear list (plans hold few prefixes).
+	byAddr   map[netip.Addr][]int
+	byPrefix []int
+}
+
+// Add appends a fault to the plan.
+func (p *FaultPlan) Add(f Fault) {
+	p.Faults = append(p.Faults, f)
+}
+
+// build prepares the lookup indexes.
+func (p *FaultPlan) build() {
+	p.byAddr = make(map[netip.Addr][]int)
+	p.byPrefix = p.byPrefix[:0]
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if f.Addr.IsValid() {
+			p.byAddr[f.Addr] = append(p.byAddr[f.Addr], i)
+		} else if f.Prefix.IsValid() {
+			p.byPrefix = append(p.byPrefix, i)
+		}
+	}
+}
+
+// faultEffects is the combined active pathology on a path at an
+// instant.
+type faultEffects struct {
+	down    bool
+	loss    float64 // max active burst-loss probability
+	latency time.Duration
+	garble  bool
+}
+
+func (e faultEffects) any() bool {
+	return e.down || e.loss > 0 || e.latency > 0 || e.garble
+}
+
+// effectsOn folds every fault scoped to addr and active at the given
+// time.
+func (p *FaultPlan) effectsOn(addr netip.Addr, at time.Time) faultEffects {
+	var e faultEffects
+	for _, i := range p.byAddr[addr] {
+		p.apply(&e, &p.Faults[i], at)
+	}
+	for _, i := range p.byPrefix {
+		f := &p.Faults[i]
+		if f.Prefix.Contains(addr) {
+			p.apply(&e, f, at)
+		}
+	}
+	return e
+}
+
+func (p *FaultPlan) apply(e *faultEffects, f *Fault, at time.Time) {
+	if !f.activeAt(at) {
+		return
+	}
+	switch f.Kind {
+	case FaultOutage:
+		e.down = true
+	case FaultLoss:
+		if f.Prob > e.loss {
+			e.loss = f.Prob
+		}
+	case FaultSlow:
+		if f.Latency > e.latency {
+			e.latency = f.Latency
+		}
+	case FaultGarble:
+		e.garble = true
+	}
+}
+
+// InstallFaults atomically installs plan on the fabric (nil removes
+// all faults). The plan's indexes are built here; the plan must not be
+// mutated afterwards.
+func (n *Network) InstallFaults(plan *FaultPlan) {
+	if plan != nil {
+		plan.build()
+	}
+	n.faults.Store(&faultBox{plan: plan})
+}
+
+// faultBox wraps the plan pointer so a nil plan can be stored
+// atomically.
+type faultBox struct{ plan *FaultPlan }
+
+func (n *Network) plan() *FaultPlan {
+	if b := n.faults.Load(); b != nil {
+		return b.plan
+	}
+	return nil
+}
+
+// HostUp reports whether addr is free of an active outage fault at the
+// given time. It says nothing about whether a host is registered there
+// — it answers "is this address blacked out by the plan".
+func (n *Network) HostUp(addr netip.Addr, at time.Time) bool {
+	p := n.plan()
+	if p == nil {
+		return true
+	}
+	return !p.effectsOn(addr, at).down
+}
+
+// attemptKey carries the dialer's retry attempt number through context
+// so a retried probe re-rolls its fault hashes (a fresh SYN takes a
+// fresh path through the loss process).
+type attemptKey struct{}
+
+// WithAttempt tags ctx with a retry attempt number (0 = first try).
+func WithAttempt(ctx context.Context, attempt int) context.Context {
+	if attempt == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, attemptKey{}, attempt)
+}
+
+// AttemptFrom extracts the attempt number tagged by WithAttempt.
+func AttemptFrom(ctx context.Context) int {
+	if v, ok := ctx.Value(attemptKey{}).(int); ok {
+		return v
+	}
+	return 0
+}
+
+// --- hash-based stochastic decisions -------------------------------
+//
+// Loss and garble decisions must not consume from a shared rng stream:
+// the draw order would depend on goroutine scheduling and the fabric
+// would stop being worker-count-independent. Instead each decision is
+// a pure FNV-style hash of the packet's identity. UDP source ports are
+// deliberately excluded — ephemeral bind order under concurrency is
+// not deterministic — so flow identity rests on addresses, the
+// destination port, the payload, logical time, and the dial attempt.
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type flowHash uint64
+
+func newFlowHash(seed uint64, tag byte) flowHash {
+	h := flowHash(fnvOffset)
+	h = h.word(seed)
+	h = h.byte(tag)
+	return h
+}
+
+func (h flowHash) byte(b byte) flowHash {
+	return (h ^ flowHash(b)) * fnvPrime
+}
+
+func (h flowHash) word(v uint64) flowHash {
+	for i := 0; i < 8; i++ {
+		h = h.byte(byte(v >> (8 * i)))
+	}
+	return h
+}
+
+func (h flowHash) addr(a netip.Addr) flowHash {
+	b := a.As16()
+	for _, x := range b {
+		h = h.byte(x)
+	}
+	return h
+}
+
+func (h flowHash) bytes(p []byte) flowHash {
+	for _, x := range p {
+		h = h.byte(x)
+	}
+	return h
+}
+
+// roll finalises the hash (splitmix64 mixer, so consecutive inputs
+// decorrelate) and compares the top 53 bits against prob.
+func (h flowHash) roll(prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	z := uint64(h)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < prob
+}
+
+// uint64 finalises the hash into a well-mixed word.
+func (h flowHash) uint64() uint64 {
+	z := uint64(h)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// dropTCP decides whether a SYN dies under burst loss.
+func dropTCP(seed uint64, src netip.Addr, dst netip.AddrPort, at time.Time, attempt int, prob float64) bool {
+	h := newFlowHash(seed, 't')
+	h = h.addr(src).addr(dst.Addr()).word(uint64(dst.Port()))
+	h = h.word(uint64(at.UnixNano()))
+	h = h.word(uint64(attempt))
+	return h.roll(prob)
+}
+
+// dropUDP decides whether a datagram dies (burst loss or the fabric's
+// uniform LossProb). dir distinguishes request from response so the
+// two directions roll independently.
+func dropUDP(seed uint64, dir byte, src, dst netip.Addr, dstPort uint16, payload []byte, at time.Time, prob float64) bool {
+	h := newFlowHash(seed, dir)
+	h = h.addr(src).addr(dst).word(uint64(dstPort))
+	h = h.bytes(payload)
+	h = h.word(uint64(at.UnixNano()))
+	return h.roll(prob)
+}
+
+// --- garbling -------------------------------------------------------
+
+// garbleCut derives where a garbled stream is truncated: enough bytes
+// to look like a banner started, never enough to finish one.
+func garbleCut(seed uint64, dst netip.AddrPort, at time.Time, attempt int) int {
+	h := newFlowHash(seed, 'g')
+	h = h.addr(dst.Addr()).word(uint64(dst.Port()))
+	h = h.word(uint64(at.UnixNano()))
+	h = h.word(uint64(attempt))
+	return 5 + int(h.uint64()%56) // 5..60 bytes
+}
+
+// garbledConn truncates what the peer sends after cut bytes, flipping
+// the final delivered byte — a banner that starts plausibly and dies
+// mid-line. Writes pass through untouched.
+type garbledConn struct {
+	net.Conn
+	remain int
+}
+
+func (g *garbledConn) Read(p []byte) (int, error) {
+	if g.remain <= 0 {
+		return 0, io.EOF
+	}
+	if len(p) > g.remain {
+		p = p[:g.remain]
+	}
+	n, err := g.Conn.Read(p)
+	g.remain -= n
+	if n > 0 && g.remain == 0 {
+		p[n-1] ^= 0x3f
+	}
+	return n, err
+}
+
+// garbleUDP corrupts a response datagram: clipped to half length (at
+// least one byte) with the final byte flipped.
+func garbleUDP(payload []byte) []byte {
+	n := len(payload) / 2
+	if n < 1 {
+		n = len(payload)
+	}
+	if n == 0 {
+		return payload
+	}
+	out := make([]byte, n)
+	copy(out, payload[:n])
+	out[n-1] ^= 0x3f
+	return out
+}

@@ -14,27 +14,12 @@ package netsim
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"net"
 	"net/netip"
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"ntpscan/internal/rng"
-)
-
-// Errors returned by dial operations, mirroring kernel network errors.
-var (
-	// ErrConnRefused is returned when the destination host exists but
-	// the port is closed (RST semantics).
-	ErrConnRefused = errors.New("netsim: connection refused")
-	// ErrTimeout is returned when the destination never answers
-	// (filtered port, unrouted address, or lossy blackhole).
-	ErrTimeout = errors.New("netsim: i/o timeout")
-	// ErrPortInUse is returned when binding an already-bound UDP socket.
-	ErrPortInUse = errors.New("netsim: address already in use")
 )
 
 // StreamHandler serves one accepted stream connection, like the argument
@@ -110,7 +95,9 @@ type Config struct {
 	// DialTimeout bounds how long a blackholed dial blocks when the
 	// caller's context has no deadline. Defaults to 2 seconds.
 	DialTimeout time.Duration
-	// LossProb drops each UDP datagram with this probability.
+	// LossProb drops each UDP datagram with this probability. The
+	// decision is a pure hash of the datagram's flow identity and Seed,
+	// so it is independent of goroutine interleaving.
 	LossProb float64
 	// Seed seeds the fabric's internal randomness (loss decisions).
 	Seed uint64
@@ -129,8 +116,9 @@ type Network struct {
 	udpBinds    map[netip.AddrPort]*UDPConn
 	sniffers    []snifferEntry
 
-	lossMu sync.Mutex
-	loss   *rng.Stream
+	// faults holds the installed FaultPlan (nil box or nil plan = no
+	// faults). Atomic so plans can be swapped mid-run.
+	faults atomic.Pointer[faultBox]
 
 	dials   atomic.Int64 // TCP dial attempts
 	packets atomic.Int64 // UDP datagrams sent
@@ -155,7 +143,6 @@ func New(cfg Config) *Network {
 		hosts:       make(map[netip.Addr]*Host),
 		prefixHosts: make(map[netip.Prefix]*Host),
 		udpBinds:    make(map[netip.AddrPort]*UDPConn),
-		loss:        rng.New(cfg.Seed ^ 0x6e657473696d),
 	}
 }
 
@@ -261,12 +248,28 @@ func (n *Network) Stats() (tcpDials, udpPackets int64) {
 //   - closed port on a non-filtered host: ErrConnRefused immediately;
 //   - closed port on a filtered host, or no host at dst: blocks until
 //     ctx is done or the dial timeout elapses, then ErrTimeout.
+//
+// Installed faults intervene before the host is consulted: an outage
+// or a lost SYN blackholes the dial, excess injected latency times it
+// out, and a garble fault wraps the returned stream so the response is
+// truncated mid-banner.
 func (n *Network) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPort) (net.Conn, error) {
+	now := n.clock.Now()
 	n.dials.Add(1)
 	n.notifySniffers(PacketInfo{
-		Time: n.clock.Now(), Proto: "tcp",
+		Time: now, Proto: "tcp",
 		Src: netip.AddrPortFrom(src, ephemeralPort(src, dst)), Dst: dst,
 	})
+
+	var eff faultEffects
+	attempt := AttemptFrom(ctx)
+	if plan := n.plan(); plan != nil {
+		eff = plan.effectsOn(dst.Addr(), now)
+		if eff.down || eff.latency > n.cfg.DialTimeout ||
+			dropTCP(plan.Seed, src, dst, now, attempt, eff.loss) {
+			return n.blackholeDial(ctx)
+		}
+	}
 
 	n.mu.RLock()
 	host, ok := n.hostAtLocked(dst.Addr())
@@ -281,16 +284,27 @@ func (n *Network) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPor
 				server.ignoreDeadlines = true
 			}
 			go handler(server)
+			if eff.garble {
+				plan := n.plan()
+				return &garbledConn{
+					Conn:   client,
+					remain: garbleCut(plan.Seed, dst, now, attempt),
+				}, nil
+			}
 			return client, nil
 		}
 		if !host.Filtered {
 			return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrConnRefused}
 		}
 	}
-	// Blackhole: wait out the caller's patience. On a manual clock the
-	// timeout is a logical-time event — no packet can arrive while the
-	// dial blocks (delivery is synchronous), so burning wall time here
-	// only throttles the simulation and the dial fails immediately.
+	return n.blackholeDial(ctx)
+}
+
+// blackholeDial waits out the caller's patience. On a manual clock the
+// timeout is a logical-time event — no packet can arrive while the
+// dial blocks (delivery is synchronous), so burning wall time here
+// only throttles the simulation and the dial fails immediately.
+func (n *Network) blackholeDial(ctx context.Context) (net.Conn, error) {
 	if _, logical := n.clock.(*ManualClock); logical {
 		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrTimeout}
 	}
@@ -320,25 +334,48 @@ func ephemeralPort(src netip.Addr, dst netip.AddrPort) uint16 {
 	return uint16(32768 + h%28232)
 }
 
-// dropPacket applies the configured loss probability.
-func (n *Network) dropPacket() bool {
-	if n.cfg.LossProb <= 0 {
-		return false
+// dropDatagram applies the fabric's uniform loss plus any active
+// burst-loss fault to one datagram. dir separates the request and
+// response directions; the decision is a pure flow hash (see
+// faults.go), so it never depends on goroutine interleaving. Client
+// ephemeral ports are excluded from the hash — bind order under
+// concurrency is not deterministic — so both directions hash the
+// server-side port.
+func (n *Network) dropDatagram(dir byte, from, to netip.Addr, serverPort uint16, payload []byte, burstLoss float64, at time.Time) bool {
+	if n.cfg.LossProb > 0 &&
+		dropUDP(n.cfg.Seed, dir, from, to, serverPort, payload, at, n.cfg.LossProb) {
+		return true
 	}
-	n.lossMu.Lock()
-	defer n.lossMu.Unlock()
-	return n.loss.Bool(n.cfg.LossProb)
+	if burstLoss > 0 {
+		plan := n.plan()
+		return dropUDP(plan.Seed, dir|0x80, from, to, serverPort, payload, at, burstLoss)
+	}
+	return false
 }
 
 // SendUDP delivers one datagram from src to dst, outside any bound
 // socket (fire-and-forget). Responses from host handlers are delivered to
 // the UDPConn bound at src, if any; otherwise they are dropped.
+//
+// Faults scoped to the destination govern both directions of the
+// exchange: an outage swallows everything, burst loss rolls per
+// datagram, excess injected latency drops the exchange (nothing comes
+// back within any deadline), and garble corrupts the responses.
 func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte) {
+	now := n.clock.Now()
 	n.packets.Add(1)
 	n.notifySniffers(PacketInfo{
-		Time: n.clock.Now(), Proto: "udp", Src: src, Dst: dst, Payload: payload,
+		Time: now, Proto: "udp", Src: src, Dst: dst, Payload: payload,
 	})
-	if n.dropPacket() {
+
+	var eff faultEffects
+	if plan := n.plan(); plan != nil {
+		eff = plan.effectsOn(dst.Addr(), now)
+		if eff.down || eff.latency > n.cfg.DialTimeout {
+			return
+		}
+	}
+	if n.dropDatagram('q', src.Addr(), dst.Addr(), dst.Port(), payload, eff.loss, now) {
 		return
 	}
 
@@ -358,8 +395,11 @@ func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte) {
 		return
 	}
 	for _, resp := range handler(src, payload) {
-		if n.dropPacket() {
+		if n.dropDatagram('r', dst.Addr(), src.Addr(), dst.Port(), resp, eff.loss, now) {
 			continue
+		}
+		if eff.garble {
+			resp = garbleUDP(resp)
 		}
 		n.mu.RLock()
 		back, ok := n.udpBinds[src]

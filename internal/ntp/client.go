@@ -56,14 +56,24 @@ func evaluate(req *Packet, resp *Packet, server netip.AddrPort, sent, recvd time
 }
 
 // QueryConn performs one SNTP exchange over an already-bound real UDP
-// socket (used by cmd tools and the realsockets example).
+// socket (used by cmd tools and the realsockets example), on the
+// system clock.
 func QueryConn(conn net.PacketConn, server net.Addr, timeout time.Duration) (*Result, error) {
-	req := NewClientPacket(time.Now())
-	sent := time.Now()
+	return QueryConnClock(conn, server, time.Now, timeout)
+}
+
+// QueryConnClock is QueryConn with an injected clock: every timestamp
+// — the request's transmit time, the four-timestamp offset inputs, and
+// the read deadline — comes from now. Mixing clocks here is the bug
+// class this signature exists to prevent: a wall-clock deadline on a
+// logical-clock exchange either never fires or fires instantly.
+func QueryConnClock(conn net.PacketConn, server net.Addr, now func() time.Time, timeout time.Duration) (*Result, error) {
+	req := NewClientPacket(now())
+	sent := now()
 	if _, err := conn.WriteTo(req.Encode(), server); err != nil {
 		return nil, err
 	}
-	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+	if err := conn.SetReadDeadline(now().Add(timeout)); err != nil {
 		return nil, err
 	}
 	buf := make([]byte, 1024)
@@ -75,7 +85,7 @@ func QueryConn(conn net.PacketConn, server net.Addr, timeout time.Duration) (*Re
 		if from.String() != server.String() {
 			continue // stray datagram from elsewhere
 		}
-		recvd := time.Now()
+		recvd := now()
 		resp, err := Decode(buf[:n])
 		if err != nil {
 			return nil, err
@@ -99,7 +109,11 @@ func QuerySim(n *netsim.Network, src netip.AddrPort, server netip.AddrPort, now 
 	if _, err := conn.WriteTo(req.Encode(), server); err != nil {
 		return nil, err
 	}
-	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+	// The deadline lives on the injected clock, like every other
+	// timestamp in the exchange. Under a ManualClock the armed deadline
+	// makes a dead read return immediately in logical time instead of
+	// parking a wall timer against a frozen clock.
+	if err := conn.SetReadDeadline(now().Add(timeout)); err != nil {
 		return nil, err
 	}
 	buf := make([]byte, 1024)

@@ -390,3 +390,47 @@ func ipv6xAddr(i uint64) netip.Addr {
 	}
 	return netip.AddrFrom16(b)
 }
+
+// Satellite: the exchange's read deadline must live on the injected
+// clock, like every other timestamp. On a frozen ManualClock a dead
+// query must return promptly in wall time (the armed logical deadline
+// is already expired for a read with no data) instead of parking a
+// wall timer against a clock that never moves.
+func TestQuerySimDeadlineOnInjectedClock(t *testing.T) {
+	clock := netsim.NewManualClock(time.Date(2024, 7, 20, 0, 0, 0, 0, time.UTC))
+	fabric := netsim.New(netsim.Config{Clock: clock})
+	src := netip.MustParseAddrPort("[2001:db8:1::aa]:40002")
+
+	start := time.Now()
+	_, err := QuerySim(fabric, src, netip.MustParseAddrPort("[2001:db8::dead]:123"),
+		clock.Now, 10*time.Second) // 10s of *logical* patience
+	if !errors.Is(err, ErrNoResponse) {
+		t.Fatalf("got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dead query on a frozen clock took %v of wall time", elapsed)
+	}
+}
+
+// Every timestamp in the exchange — client transmit, server transmit,
+// receive — must come off the injected clock, so a shared logical
+// clock on both ends yields a bit-exact zero offset and delay.
+func TestQuerySimTimestampsOnInjectedClock(t *testing.T) {
+	clock := netsim.NewManualClock(time.Date(2024, 7, 20, 0, 0, 0, 0, time.UTC))
+	fabric := netsim.New(netsim.Config{Clock: clock})
+	srv := NewServer(ServerConfig{Now: clock.Now})
+	serverAddr := netip.MustParseAddr("2001:db8:ffff::123")
+	fabric.Register(serverAddr, netsim.NewHost("pool").HandleUDP(Port, srv.Handle))
+
+	res, err := QuerySim(fabric, netip.MustParseAddrPort("[2001:db8:1::aa]:40003"),
+		netip.AddrPortFrom(serverAddr, Port), clock.Now, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offset != 0 || res.Delay != 0 {
+		t.Fatalf("offset=%v delay=%v on a shared logical clock", res.Offset, res.Delay)
+	}
+	if got := res.Response.TransmitTime.Time(); !got.Equal(clock.Now()) {
+		t.Fatalf("server transmit %v, want logical %v", got, clock.Now())
+	}
+}

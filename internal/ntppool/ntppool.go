@@ -229,3 +229,43 @@ func (p *Pool) ShareEstimate(country string) float64 {
 	}
 	return ours / total
 }
+
+// ConfiguredShare is ShareEstimate ignoring monitor health: the share
+// the operator's netspeed configuration would attract with every
+// server healthy. Campaign budgets are computed from this — a budget
+// must not depend on the transient health the monitor happens to see
+// at planning time, or a resumed run would plan a different campaign
+// than the one it is resuming.
+func (p *Pool) ConfiguredShare(country string) float64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ours := 0.0
+	for _, s := range p.byZone[country] {
+		ours += s.NetSpeed
+	}
+	total := ours + p.background[country]
+	if total <= 0 {
+		return 0
+	}
+	return ours / total
+}
+
+// Healthy reports whether the server's monitor score keeps it in
+// rotation. Unknown IDs are unhealthy.
+func (p *Pool) Healthy(id string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	s, ok := p.servers[id]
+	return ok && s.Score >= MinScore
+}
+
+// Score returns the server's current monitor score (0 for unknown
+// IDs).
+func (p *Pool) Score(id string) float64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if s, ok := p.servers[id]; ok {
+		return s.Score
+	}
+	return 0
+}

@@ -71,6 +71,22 @@ func (r *Stream) Derive(label string) *Stream {
 	return New(h.Sum64())
 }
 
+// State exports the stream's current position so a checkpoint can
+// capture it. Restoring the four words with SetState resumes the
+// stream exactly where it left off.
+func (r *Stream) State() [4]uint64 { return r.s }
+
+// SetState restores a position previously captured with State. The
+// all-zero state is invalid for xoshiro and is rejected by falling
+// back to a fixed non-zero word (it can only arise from a corrupted
+// checkpoint, never from State).
+func (r *Stream) SetState(s [4]uint64) {
+	if s == [4]uint64{} {
+		s[0] = 0x9e3779b97f4a7c15
+	}
+	r.s = s
+}
+
 // DeriveIndexed returns Derive(label + "/" + i) without building the
 // label through fmt. Sharded pipelines derive one stream per shard index
 // — e.g. DeriveIndexed("volume/shard", 3) == Derive("volume/shard/3") —

@@ -26,6 +26,10 @@ const (
 	StatusProtocolError Status = "protocol-error"
 	StatusTLSError      Status = "tls-error"
 	StatusIOError       Status = "io-error"
+	// StatusBreakerOpen marks a target shed by the per-prefix circuit
+	// breaker: no probe was sent. Not part of zgrab2's vocabulary, but
+	// it keeps the result stream dense when load-shedding is active.
+	StatusBreakerOpen Status = "breaker-open"
 )
 
 // Result is one module's grab of one address.
@@ -36,6 +40,9 @@ type Result struct {
 	Time   time.Time  `json:"time"`
 	Status Status     `json:"status"`
 	Error  string     `json:"error,omitempty"`
+	// Attempts is how many tries the probe took under the retry policy;
+	// omitted when the first try settled it.
+	Attempts int `json:"attempts,omitempty"`
 
 	// Seq orders results by submission: targets are numbered serially as
 	// they enter the scanner and each module slot gets a distinct

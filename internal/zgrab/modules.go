@@ -76,6 +76,12 @@ func (e *Env) dial(ctx context.Context, target netip.Addr, port uint16) (net.Con
 		if errors.Is(err, netsim.ErrConnRefused) || errors.Is(err, syscall.ECONNREFUSED) {
 			return nil, StatusRefused, err.Error()
 		}
+		// Structural classification via net.Error: a timeout is silence
+		// (filtered/dark/lossy); anything else is local I/O trouble.
+		var ne net.Error
+		if errors.As(err, &ne) && !ne.Timeout() {
+			return nil, StatusIOError, err.Error()
+		}
 		return nil, StatusTimeout, err.Error()
 	}
 	conn.SetDeadline(time.Now().Add(e.Timeout))
@@ -375,7 +381,9 @@ func (m *CoAPModule) Scan(ctx context.Context, env *Env, target netip.Addr) *Res
 		return res
 	}
 	defer sock.Close()
-	mid := uint16(msgIDFor(target))
+	// The message ID varies per retry attempt so a retransmission is a
+	// fresh datagram to the fabric's flow-hashed loss process.
+	mid := msgIDFor(target) + uint16(netsim.AttemptFrom(ctx))*0x9d7
 	grab, err := coapx.ScanConn(sock, netip.AddrPortFrom(target, port), mid, env.udpTimeout())
 	if err != nil {
 		res.Status = StatusTimeout

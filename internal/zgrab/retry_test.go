@@ -1,0 +1,112 @@
+package zgrab
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+func TestClassifyTable(t *testing.T) {
+	cases := []struct {
+		name string
+		r    *Result
+		want ErrorClass
+	}{
+		{"success", &Result{Status: StatusSuccess}, ClassNone},
+		{"refused", &Result{Status: StatusRefused}, ClassRefused},
+		{"timeout", &Result{Status: StatusTimeout}, ClassFiltered},
+		{"ioerror", &Result{Status: StatusIOError}, ClassTransient},
+		{"protocol", &Result{Status: StatusProtocolError}, ClassGarbled},
+		{"tls-alert", &Result{Status: StatusTLSError, TLS: &TLSGrab{Alert: "handshake_failure"}}, ClassNone},
+		{"tls-truncated", &Result{Status: StatusTLSError}, ClassGarbled},
+		{"breaker-open", &Result{Status: StatusBreakerOpen}, ClassNone},
+	}
+	for _, c := range cases {
+		if got := Classify(c.r); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+	for _, c := range cases {
+		wantRetry := c.want == ClassFiltered || c.want == ClassTransient || c.want == ClassGarbled
+		if got := Classify(c.r).Retryable(); got != wantRetry {
+			t.Errorf("%s: Retryable = %v, want %v", c.name, got, wantRetry)
+		}
+	}
+}
+
+func TestAliveCountsAnyAnswer(t *testing.T) {
+	alive := []*Result{
+		{Status: StatusSuccess},
+		{Status: StatusRefused},
+		{Status: StatusProtocolError},
+		{Status: StatusTLSError, TLS: &TLSGrab{Alert: "bad_certificate"}},
+	}
+	for _, r := range alive {
+		if !Alive(r) {
+			t.Errorf("%s should count as alive", r.Status)
+		}
+	}
+	dark := []*Result{
+		{Status: StatusTimeout},
+		{Status: StatusIOError},
+	}
+	for _, r := range dark {
+		if Alive(r) {
+			t.Errorf("%s should not count as alive", r.Status)
+		}
+	}
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 6, Base: time.Second, Max: 4 * time.Second, Multiplier: 2}
+	a := netip.MustParseAddr("2001:db8::1")
+	got := []time.Duration{
+		p.Backoff(a, "http", 0),
+		p.Backoff(a, "http", 1),
+		p.Backoff(a, "http", 2),
+		p.Backoff(a, "http", 3),
+	}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("attempt %d backoff = %v, want %v (no jitter)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := DefaultRetryPolicy()
+	a := netip.MustParseAddr("2001:db8::1")
+	b := netip.MustParseAddr("2001:db8::2")
+
+	if p.Backoff(a, "http", 1) != p.Backoff(a, "http", 1) {
+		t.Fatal("jittered backoff not deterministic")
+	}
+	if p.Backoff(a, "http", 1) == p.Backoff(b, "http", 1) &&
+		p.Backoff(a, "ssh", 1) == p.Backoff(b, "ssh", 1) &&
+		p.Backoff(a, "http", 2) == p.Backoff(b, "http", 2) {
+		t.Fatal("jitter ignores probe identity")
+	}
+	// Bounds: jitter 0.5 keeps each delay within [0.75, 1.25) of nominal.
+	nominal := 2 * time.Second
+	for i := 0; i < 64; i++ {
+		addr := netip.AddrFrom16([16]byte{0x20, 0x01, 15: byte(i)})
+		d := p.Backoff(addr, "http", 1)
+		if d < 3*nominal/4 || d >= 5*nominal/4 {
+			t.Fatalf("backoff %v outside jitter bounds around %v", d, nominal)
+		}
+	}
+}
+
+func TestRetryPolicyAttempts(t *testing.T) {
+	var nilPolicy *RetryPolicy
+	if got := nilPolicy.attempts(); got != 1 {
+		t.Fatalf("nil policy attempts = %d, want 1", got)
+	}
+	if got := (&RetryPolicy{}).attempts(); got != 1 {
+		t.Fatalf("zero policy attempts = %d, want 1", got)
+	}
+	if got := (&RetryPolicy{MaxAttempts: 3}).attempts(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}

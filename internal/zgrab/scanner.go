@@ -4,6 +4,7 @@ import (
 	"context"
 	"hash/maphash"
 	"net/netip"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -168,6 +169,63 @@ func (rv *Revisit) Len() int {
 	return n
 }
 
+// Sweep evicts entries whose holdoff has expired — they no longer
+// suppress anything (Allow would admit them) and over a long campaign
+// would otherwise accumulate without bound. Returns how many entries
+// were dropped. The scanner sweeps at each drain barrier.
+func (rv *Revisit) Sweep(now time.Time) int {
+	evicted := 0
+	for i := range rv.shards {
+		sh := &rv.shards[i]
+		sh.mu.Lock()
+		for addr, t := range sh.last {
+			if now.Sub(t) >= rv.after {
+				delete(sh.last, addr)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return evicted
+}
+
+// RevisitEntry is one tracked address in a checkpoint.
+type RevisitEntry struct {
+	Addr netip.Addr `json:"addr"`
+	Last time.Time  `json:"last"`
+}
+
+// Snapshot exports the tracked addresses in canonical (address) order.
+func (rv *Revisit) Snapshot() []RevisitEntry {
+	var out []RevisitEntry
+	for i := range rv.shards {
+		sh := &rv.shards[i]
+		sh.mu.Lock()
+		for addr, t := range sh.last {
+			out = append(out, RevisitEntry{Addr: addr, Last: t})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.Less(out[j].Addr) })
+	return out
+}
+
+// Restore replaces the tracked set with a snapshot.
+func (rv *Revisit) Restore(entries []RevisitEntry) {
+	for i := range rv.shards {
+		sh := &rv.shards[i]
+		sh.mu.Lock()
+		sh.last = make(map[netip.Addr]time.Time)
+		sh.mu.Unlock()
+	}
+	for _, e := range entries {
+		sh := &rv.shards[revisitShard(e.Addr)]
+		sh.mu.Lock()
+		sh.last[e.Addr] = e.Last
+		sh.mu.Unlock()
+	}
+}
+
 // Config assembles a scanner.
 type Config struct {
 	// Fabric selects the simulation transport; leave nil and set Net
@@ -203,6 +261,17 @@ type Config struct {
 	// latency-free, so the delay is recorded in each result's schedule
 	// stamp rather than slept.
 	InterProtocolDelay time.Duration
+	// Retry, when set, gives each module probe up to MaxAttempts tries
+	// with exponential backoff and deterministic jitter. Like
+	// InterProtocolDelay, backoff under a logical clock is stamped into
+	// the result's schedule rather than slept; under a real clock it
+	// sleeps.
+	Retry *RetryPolicy
+	// Breaker, when set, enables the per-prefix circuit breaker:
+	// targets in prefixes that have produced nothing but silence are
+	// skipped (emitting StatusBreakerOpen results) until the cooldown's
+	// probation re-admits them. State advances at the Drain barrier.
+	Breaker *BreakerConfig
 	// OnResult receives every grab; it is called from worker
 	// goroutines and must be safe for concurrent use.
 	OnResult func(*Result)
@@ -230,6 +299,7 @@ type Scanner struct {
 	cfg     Config
 	env     *Env
 	revisit *Revisit
+	breaker *Breaker // nil unless Config.Breaker is set
 
 	queue   chan []target
 	wg      sync.WaitGroup
@@ -291,8 +361,18 @@ func NewScanner(cfg Config) *Scanner {
 		revisit: NewRevisit(cfg.RevisitAfter),
 		queue:   make(chan []target, 4096),
 	}
+	if cfg.Breaker != nil {
+		s.breaker = NewBreaker(*cfg.Breaker)
+	}
 	s.pendingCond = sync.NewCond(&s.pendingMu)
 	return s
+}
+
+// logical reports whether the scanner runs on a manual clock (delays
+// are stamped, not slept).
+func (s *Scanner) logical() bool {
+	_, ok := s.cfg.Clock.(logicalClock)
+	return ok
 }
 
 // Start launches the worker pool.
@@ -393,12 +473,22 @@ func (s *Scanner) SubmitBatch(addrs []netip.Addr) int {
 // scanned. The campaign pipeline drains at each slice boundary so no
 // scan is in flight when the logical clock moves — the source of the
 // pipeline's bit-reproducibility under concurrency.
+//
+// The quiescent point doubles as the maintenance tick: expired revisit
+// entries are evicted and the circuit breaker folds the slice's
+// outcomes and runs its state transitions. Doing both here — never
+// mid-slice — keeps them a pure function of the schedule.
 func (s *Scanner) Drain() {
 	s.pendingMu.Lock()
 	for s.pending > 0 {
 		s.pendingCond.Wait()
 	}
 	s.pendingMu.Unlock()
+	now := s.cfg.Clock.Now()
+	s.revisit.Sweep(now)
+	if s.breaker != nil {
+		s.breaker.Advance(now)
+	}
 }
 
 // ScanNow scans one address synchronously with all modules, bypassing
@@ -431,20 +521,114 @@ func (s *Scanner) emit(worker int, r *Result) {
 }
 
 func (s *Scanner) scanOne(ctx context.Context, worker int, t target) {
-	for i, m := range s.cfg.Modules {
-		if err := s.cfg.Limiter.Wait(ctx); err != nil {
-			return
+	if s.breaker != nil && !s.breaker.Allow(t.addr) {
+		// Shed the target but keep the sequence space dense: every
+		// module slot still gets a result, so sinks and offsets line up
+		// whether or not the breaker fired.
+		now := s.env.now()
+		for i, m := range s.cfg.Modules {
+			r := &Result{
+				IP: t.addr, Module: m.Name(), Port: s.env.portFor(m),
+				Time: now, Status: StatusBreakerOpen,
+			}
+			r.Seq = t.seq*int64(len(s.cfg.Modules)) + int64(i)
+			s.emit(worker, r)
 		}
-		s.probes.Add(1)
-		r := m.Scan(ctx, s.env, t.addr)
+		s.scanned.Add(1)
+		return
+	}
+	alive := false
+	for i, m := range s.cfg.Modules {
+		r := s.scanModule(ctx, t.addr, m)
+		if r == nil {
+			return // cancelled in the limiter
+		}
+		if Alive(r) {
+			alive = true
+		}
 		r.Seq = t.seq*int64(len(s.cfg.Modules)) + int64(i)
 		if s.cfg.InterProtocolDelay > 0 {
 			r.Time = r.Time.Add(time.Duration(i) * s.cfg.InterProtocolDelay)
 		}
 		s.emit(worker, r)
 	}
+	if s.breaker != nil {
+		s.breaker.Record(t.addr, alive)
+	}
 	s.scanned.Add(1)
 }
+
+// scanModule runs one module probe under the retry policy and returns
+// the final attempt's result (nil if the context died in the limiter).
+// Retries re-roll the fabric's fault hashes via the context attempt
+// tag; accumulated backoff is stamped into the result's schedule under
+// a logical clock and slept under a real one.
+func (s *Scanner) scanModule(ctx context.Context, addr netip.Addr, m Module) *Result {
+	attempts := s.cfg.Retry.attempts()
+	var backoff time.Duration
+	for attempt := 0; ; attempt++ {
+		if err := s.cfg.Limiter.Wait(ctx); err != nil {
+			return nil
+		}
+		s.probes.Add(1)
+		r := m.Scan(netsim.WithAttempt(ctx, attempt), s.env, addr)
+		if attempt > 0 {
+			r.Attempts = attempt + 1
+		}
+		if backoff > 0 {
+			r.Time = r.Time.Add(backoff)
+		}
+		if attempt+1 >= attempts || !Classify(r).Retryable() {
+			return r
+		}
+		d := s.cfg.Retry.Backoff(addr, m.Name(), attempt)
+		if s.logical() {
+			backoff += d
+		} else {
+			timer := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return r
+			case <-timer.C:
+			}
+		}
+	}
+}
+
+// ScanState is the scanner's checkpointable state: the sequence
+// cursor, the revisit suppression set, and the breaker's prefix
+// states. Capture it from a quiescent point (after Drain, before any
+// further Submit).
+type ScanState struct {
+	NextSeq int64               `json:"next_seq"`
+	Revisit []RevisitEntry      `json:"revisit,omitempty"`
+	Breaker []BreakerEntryState `json:"breaker,omitempty"`
+}
+
+// Snapshot exports the scanner's state for a checkpoint.
+func (s *Scanner) Snapshot() ScanState {
+	st := ScanState{
+		NextSeq: s.nextSeq.Load(),
+		Revisit: s.revisit.Snapshot(),
+	}
+	if s.breaker != nil {
+		st.Breaker = s.breaker.Snapshot()
+	}
+	return st
+}
+
+// Restore loads a checkpointed state. Call before Start.
+func (s *Scanner) Restore(st ScanState) {
+	s.nextSeq.Store(st.NextSeq)
+	s.revisit.Restore(st.Revisit)
+	if s.breaker != nil {
+		s.breaker.Restore(st.Breaker)
+	}
+}
+
+// Breaker returns the scanner's circuit breaker (nil if not enabled).
+func (s *Scanner) Breaker() *Breaker { return s.breaker }
 
 // Close drains the queue and stops the workers. The scanner cannot be
 // restarted; Submit calls racing or following Close are rejected rather
