@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench chaos
+.PHONY: all check vet build test race bench bench-compare profiles chaos
 
 all: check
 
@@ -31,6 +31,28 @@ chaos:
 
 # bench runs the pipeline benchmarks and records them, with host
 # metadata, in BENCH_pipeline.json. NTPSCAN_SCALE multiplies the bench
-# world scale (see bench_test.go).
+# world scale (see bench_test.go). -benchmem and the fixed -benchtime
+# mean the JSON always carries B/op and allocs/op columns and runs are
+# comparable across commits.
 bench:
-	$(GO) run ./cmd/benchjson -out BENCH_pipeline.json
+	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_pipeline.json
+
+# bench-compare is the regression gate: a fresh (non -race) benchmark
+# run diffed against the committed BENCH_pipeline.json "after" block.
+# Fails if bytes/op or allocs/op regress beyond 10% or ns/op beyond
+# 100% (single-iteration wall time on shared hosts varies close to 2x;
+# allocation counts are deterministic). Wired into ci.sh behind
+# NTPSCAN_BENCH_COMPARE=1.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare -benchtime 1x -out BENCH_pipeline.json
+
+# profiles emits pprof CPU+heap profiles and an execution trace for
+# BenchmarkFullCampaign into ./profiles/ — the measurement feeding the
+# top-10 allocation-site table in EXPERIMENTS.md. Inspect with e.g.
+#   go tool pprof -top -sample_index=alloc_objects profiles/campaign.mem.out
+profiles:
+	mkdir -p profiles
+	$(GO) test -run NONE -bench 'BenchmarkFullCampaign$$' -benchmem -benchtime 1x \
+		-cpuprofile profiles/campaign.cpu.out \
+		-memprofile profiles/campaign.mem.out \
+		-trace profiles/campaign.trace.out .

@@ -7,3 +7,11 @@ go build ./...
 go test -race ./...
 # Fault-injection suite over the fixed seed matrix (see `make chaos`).
 make chaos
+# Optional bench regression gate against the committed BENCH baseline.
+# The timed run is plain `go test -bench` — deliberately NOT -race,
+# whose overhead would swamp every threshold. Opt in with
+# NTPSCAN_BENCH_COMPARE=1 (off by default: shared CI hosts make wall
+# time unreliable; allocation counts are what the gate really pins).
+if [ "${NTPSCAN_BENCH_COMPARE:-0}" = "1" ]; then
+  make bench-compare
+fi

@@ -95,11 +95,18 @@ func cpuModel() string {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pipeline.json", "output file")
+	out := flag.String("out", "BENCH_pipeline.json", "output file (and -compare baseline)")
 	pattern := flag.String("bench", "BenchmarkFullCampaign$|BenchmarkCampaignWorkers$|BenchmarkTable2ScanResults$", "benchmark regexp")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (fixed so runs are comparable)")
+	compare := flag.Bool("compare", false, "compare a fresh run against the committed baseline's \"after\" block and exit non-zero on regression")
+	threshold := flag.Float64("threshold", 0.10, "allowed fractional regression for bytes/op and allocs/op in -compare mode")
+	nsThreshold := flag.Float64("ns-threshold", 1.00, "allowed fractional regression for ns/op in -compare mode (single-iteration wall time on shared CI hosts varies close to 2x; allocation counts are the deterministic gate)")
 	flag.Parse()
 
-	cmd := exec.Command("go", "test", "-run", "NONE", "-bench", *pattern, "-benchmem", "-count", "1", ".")
+	// The timed run is always plain `go test` — never -race, whose
+	// overhead would swamp every threshold (see ci.sh).
+	cmd := exec.Command("go", "test", "-run", "NONE", "-bench", *pattern,
+		"-benchmem", "-benchtime", *benchtime, "-count", "1", ".")
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
@@ -110,6 +117,10 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines parsed")
 		os.Exit(1)
+	}
+
+	if *compare {
+		os.Exit(compareBaseline(*out, results, *threshold, *nsThreshold))
 	}
 
 	host := Host{
@@ -123,9 +134,11 @@ func main() {
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Host:      host,
 		Note: "Before = serial pipeline, after = sharded parallel pipeline on the logical-time fabric " +
-			"(simulated timeouts no longer sleep wall time), both NTPSCAN_SCALE=1. The single-core win " +
-			"comes from eliminating those sleeps; additional multi-core scaling (BenchmarkCampaignWorkers) " +
-			"requires NumCPU > 1 — on a 1-CPU host the worker variants measure coordination overhead only. " +
+			"(simulated timeouts no longer sleep wall time) plus the allocation overhaul (per-shard scratch " +
+			"buffers, append-style NTP codec, dense index-keyed counters, intern table, reusable JSONL encoder " +
+			"— see DESIGN.md \"Memory discipline\"), both NTPSCAN_SCALE=1. The single-core win comes from " +
+			"eliminating those sleeps; additional multi-core scaling (BenchmarkCampaignWorkers) requires " +
+			"NumCPU > 1 — on a 1-CPU host the worker variants measure coordination overhead only. " +
 			"Output is bit-identical across worker counts (see TestCampaignDeterministicAcrossWorkers).",
 		Before: Section{Host: baselineHost, Results: baseline},
 		After: Section{
@@ -144,4 +157,58 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d results)\n", *out, len(results))
+}
+
+// compareBaseline diffs fresh results against the committed report's
+// "after" block. Returns the process exit code: 0 when every shared
+// benchmark stays within its threshold, 1 on any regression. Metrics
+// absent from the baseline (old runs without -benchmem columns) are
+// skipped; benchmarks present on only one side are reported but not
+// failed, so adding or retiring a benchmark does not break the gate.
+func compareBaseline(path string, fresh []Bench, threshold, nsThreshold float64) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
+		return 1
+	}
+	var report Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing baseline %s: %v\n", path, err)
+		return 1
+	}
+	base := make(map[string]Bench, len(report.After.Results))
+	for _, b := range report.After.Results {
+		base[b.Name] = b
+	}
+
+	failed := false
+	check := func(name, metric string, got, want, limit float64) {
+		if want == 0 {
+			return // baseline lacks the metric; nothing to compare
+		}
+		ratio := got/want - 1
+		status := "ok"
+		if ratio > limit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-28s %-12s %14.0f -> %14.0f  %+6.1f%% (limit %+.0f%%)  %s\n",
+			name, metric, want, got, ratio*100, limit*100, status)
+	}
+	for _, f := range fresh {
+		b, ok := base[f.Name]
+		if !ok {
+			fmt.Printf("%-28s (not in baseline, skipped)\n", f.Name)
+			continue
+		}
+		check(f.Name, "ns/op", f.NsPerOp, b.NsPerOp, nsThreshold)
+		check(f.Name, "B/op", f.BytesPerOp, b.BytesPerOp, threshold)
+		check(f.Name, "allocs/op", f.AllocsPerOp, b.AllocsPerOp, threshold)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: benchmark regression against", path)
+		return 1
+	}
+	fmt.Println("benchjson: no regressions against", path)
+	return 0
 }

@@ -18,6 +18,7 @@ import (
 
 	"ntpscan"
 	"ntpscan/internal/experiments"
+	"ntpscan/internal/prof"
 )
 
 func main() {
@@ -31,7 +32,13 @@ func main() {
 		ablations   = flag.Bool("ablations", false, "also run the ablation experiments")
 		out         = flag.String("out", "", "write output to file instead of stdout")
 	)
+	profCfg := prof.Flags(nil)
 	flag.Parse()
+	stopProf, err := profCfg.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	opts := ntpscan.Options{
 		Seed:        *seed,
@@ -68,6 +75,9 @@ func main() {
 		b.WriteString(experiments.ExtensionGeneratedVsLive(suite))
 	}
 
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+	}
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "write:", err)

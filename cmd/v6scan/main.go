@@ -32,6 +32,7 @@ import (
 	"ntpscan/internal/core"
 	"ntpscan/internal/hitlist"
 	"ntpscan/internal/netsim"
+	"ntpscan/internal/prof"
 	"ntpscan/internal/world"
 	"ntpscan/internal/zgrab"
 )
@@ -50,7 +51,13 @@ func main() {
 		real        = flag.Bool("real", false, "scan real networks with kernel sockets instead of the simulation")
 		ports       = flag.String("ports", "", "port overrides, e.g. http=8080,ssh=2222")
 	)
+	profCfg := prof.Flags(nil)
 	flag.Parse()
+	stopProf, err := profCfg.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "v6scan:", err)
+		os.Exit(1)
+	}
 	if !*useHitlist && *targets == "" {
 		fmt.Fprintln(os.Stderr, "v6scan: need -targets FILE or -hitlist")
 		os.Exit(2)
@@ -143,6 +150,9 @@ func main() {
 	}
 	scanner.Close()
 	bw.Flush()
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "v6scan:", err)
+	}
 	fmt.Fprintf(os.Stderr, "v6scan: wrote %d results\n", jw.Count())
 }
 

@@ -21,6 +21,64 @@ type KeyReuseStats struct {
 	WidestKeyASes int
 }
 
+// identKind distinguishes SSH host keys from TLS key IDs in identKey
+// (the two fingerprint namespaces must not collide).
+type identKind uint8
+
+const (
+	identSSH identKind = iota + 1
+	identTLS
+)
+
+// identKey is the reuse map's key: fingerprint kind plus the decoded
+// fingerprint bytes. Fingerprints arrive as hex strings (up to 64
+// chars = 32 bytes); decoding them into a fixed array makes the key
+// comparable without any per-observation string concatenation — the
+// old "ssh:"+fp key allocated once per observed result. Non-hex
+// identities (hand-edited JSONL) fall back to the raw string field.
+type identKey struct {
+	kind identKind
+	n    uint8 // decoded byte count (disambiguates "ab" from "ab00...")
+	id   [32]byte
+	raw  string // only set when the identity is not valid hex
+}
+
+// makeIdentKey builds the key for one fingerprint string.
+func makeIdentKey(kind identKind, fp string) identKey {
+	k := identKey{kind: kind}
+	if len(fp) > 2*len(k.id) || len(fp)%2 != 0 || !hexInto(k.id[:], fp) {
+		return identKey{kind: kind, raw: fp}
+	}
+	k.n = uint8(len(fp) / 2)
+	return k
+}
+
+// hexInto decodes lowercase/uppercase hex s into dst without
+// allocating. Reports whether s was entirely valid hex.
+func hexInto(dst []byte, s string) bool {
+	for i := 0; i+1 < len(s); i += 2 {
+		hi, ok1 := unhex(s[i])
+		lo, ok2 := unhex(s[i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i/2] = hi<<4 | lo
+	}
+	return true
+}
+
+func unhex(c byte) (byte, bool) {
+	switch {
+	case '0' <= c && c <= '9':
+		return c - '0', true
+	case 'a' <= c && c <= 'f':
+		return c - 'a' + 10, true
+	case 'A' <= c && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
 // KeyReuse analyses a dataset. HTTP entries are restricted to status
 // 200 responses, as the paper does.
 func KeyReuse(ctx *Context, d *Dataset) KeyReuseStats {
@@ -28,8 +86,9 @@ func KeyReuse(ctx *Context, d *Dataset) KeyReuseStats {
 		ips  map[netip.Addr]struct{}
 		ases map[uint32]struct{}
 	}
-	keys := map[string]*spread{}
-	observe := func(id string, addr netip.Addr) {
+	keys := map[identKey]*spread{}
+	observe := func(kind identKind, fp string, addr netip.Addr) {
+		id := makeIdentKey(kind, fp)
 		s := keys[id]
 		if s == nil {
 			s = &spread{ips: map[netip.Addr]struct{}{}, ases: map[uint32]struct{}{}}
@@ -44,7 +103,7 @@ func KeyReuse(ctx *Context, d *Dataset) KeyReuseStats {
 	}
 	for _, r := range d.Successes("ssh") {
 		if r.SSH != nil && r.SSH.KeyFingerprint != "" {
-			observe("ssh:"+r.SSH.KeyFingerprint, r.IP)
+			observe(identSSH, r.SSH.KeyFingerprint, r.IP)
 		}
 	}
 	for _, module := range []string{"https", "mqtts", "amqps"} {
@@ -55,7 +114,7 @@ func KeyReuse(ctx *Context, d *Dataset) KeyReuseStats {
 			if module == "https" && (r.HTTP == nil || r.HTTP.StatusCode != 200) {
 				continue
 			}
-			observe("tls:"+r.TLS.KeyID, r.IP)
+			observe(identTLS, r.TLS.KeyID, r.IP)
 		}
 	}
 

@@ -3,6 +3,7 @@ package analysis
 import (
 	"net/netip"
 
+	"ntpscan/internal/intern"
 	"ntpscan/internal/ipv6x"
 	"ntpscan/internal/zgrab"
 )
@@ -23,13 +24,16 @@ type NetworkAggregation struct {
 // AggregateModule computes Table 5 counts for one module's successes.
 func AggregateModule(ctx *Context, d *Dataset, module string) NetworkAggregation {
 	agg := NetworkAggregation{Module: module}
-	addrs := make(map[netip.Addr]struct{})
-	n32 := make(map[netip.Prefix]struct{})
-	n48 := make(map[netip.Prefix]struct{})
-	n56 := make(map[netip.Prefix]struct{})
-	n64 := make(map[netip.Prefix]struct{})
-	ases := make(map[uint32]struct{})
-	countries := make(map[string]struct{})
+	// The result count bounds every set below; sizing them up front
+	// keeps the dedup maps from rehashing as they fill.
+	n := len(d.Successes(module))
+	addrs := make(map[netip.Addr]struct{}, n)
+	n32 := make(map[netip.Prefix]struct{}, n)
+	n48 := make(map[netip.Prefix]struct{}, n)
+	n56 := make(map[netip.Prefix]struct{}, n)
+	n64 := make(map[netip.Prefix]struct{}, n)
+	ases := make(map[uint32]struct{}, 64)
+	countries := make(map[string]struct{}, 64)
 	for _, r := range d.Successes(module) {
 		if _, dup := addrs[r.IP]; dup {
 			continue
@@ -88,7 +92,7 @@ func GroupByNetworks(d *Dataset, module string, classify func(*zgrab.Result) str
 		n56 map[netip.Prefix]struct{}
 		n64 map[netip.Prefix]struct{}
 	}
-	groups := map[string]*sets{}
+	groups := make(map[string]*sets, 16)
 	for _, r := range d.Successes(module) {
 		label := classify(r)
 		if label == "" {
@@ -96,11 +100,14 @@ func GroupByNetworks(d *Dataset, module string, classify func(*zgrab.Result) str
 		}
 		g := groups[label]
 		if g == nil {
+			// Classifiers may synthesise label strings per result;
+			// interning keeps one copy per distinct group.
+			label = intern.Default.String(label)
 			g = &sets{
-				ips: map[netip.Addr]struct{}{},
-				n48: map[netip.Prefix]struct{}{},
-				n56: map[netip.Prefix]struct{}{},
-				n64: map[netip.Prefix]struct{}{},
+				ips: make(map[netip.Addr]struct{}, 64),
+				n48: make(map[netip.Prefix]struct{}, 64),
+				n56: make(map[netip.Prefix]struct{}, 64),
+				n64: make(map[netip.Prefix]struct{}, 64),
 			}
 			groups[label] = g
 		}

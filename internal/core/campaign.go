@@ -55,15 +55,49 @@ type Checkpoint struct {
 	NextSlice int       `json:"next_slice"`
 	Time      time.Time `json:"time"` // logical clock at the boundary
 
-	Captures     int64               `json:"captures"`
-	Shards       []ShardState        `json:"shards"`
-	CapturedResp []int               `json:"captured_resp,omitempty"`
-	CapLog       []CapRecord         `json:"cap_log,omitempty"`
-	Scan         zgrab.ScanState     `json:"scan"`
-	PoolScores   map[string]float64  `json:"pool_scores,omitempty"`
+	Captures     int64           `json:"captures"`
+	Shards       []ShardState    `json:"shards"`
+	CapturedResp []int           `json:"captured_resp,omitempty"`
+	CapLog       []CapRecord     `json:"cap_log,omitempty"`
+	Scan         zgrab.ScanState `json:"scan"`
+	PoolScores   PoolScoreMap    `json:"pool_scores,omitempty"`
 	// OutOffset is how many bytes of JSONL output the run had written;
 	// a resumed run's writer continues exactly here.
 	OutOffset int64 `json:"out_offset"`
+}
+
+// PoolScoreMap is the checkpoint's vantage-score table. Its custom
+// marshaller emits keys in sorted order so checkpoint bytes are a pure
+// function of the state — map iteration order never leaks into files
+// that are compared byte-for-byte across runs.
+type PoolScoreMap map[string]float64
+
+// MarshalJSON implements json.Marshaler with deterministic key order.
+func (m PoolScoreMap) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := make([]byte, 0, 16+24*len(keys))
+	buf = append(buf, '{')
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := json.Marshal(m[k])
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, kb...)
+		buf = append(buf, ':')
+		buf = append(buf, vb...)
+	}
+	return append(buf, '}'), nil
 }
 
 // CampaignOpts tunes RunCampaign beyond the plain RunNTPCampaign
@@ -101,6 +135,22 @@ type orderedSink struct {
 	all     []*zgrab.Result
 	cw      *countingWriter
 	enc     *json.Encoder
+	// batch and encBuf are flush scratch, reused across the campaign's
+	// 96 slice flushes: batch collects the slice's results for sorting,
+	// encBuf accumulates their JSONL bytes so each slice costs one
+	// Write instead of one per result. Both keep their high-water
+	// capacity.
+	batch  []*zgrab.Result
+	encBuf jsonlBuf
+}
+
+// jsonlBuf is the minimal reusable byte sink behind the campaign's
+// json.Encoder (bytes.Buffer without the unused machinery).
+type jsonlBuf struct{ b []byte }
+
+func (j *jsonlBuf) Write(p []byte) (int, error) {
+	j.b = append(j.b, p...)
+	return len(p), nil
 }
 
 func newOrderedSink(workers int, out io.Writer) *orderedSink {
@@ -110,7 +160,7 @@ func newOrderedSink(workers int, out io.Writer) *orderedSink {
 	s := &orderedSink{buckets: make([][]*zgrab.Result, workers)}
 	if out != nil {
 		s.cw = &countingWriter{w: out}
-		s.enc = json.NewEncoder(s.cw)
+		s.enc = json.NewEncoder(&s.encBuf)
 	}
 	return s
 }
@@ -123,16 +173,23 @@ func (s *orderedSink) add(worker int, r *zgrab.Result) {
 // flush drains the buckets in sequence order into the output writer
 // and the accumulated dataset. Call only at a drain barrier.
 func (s *orderedSink) flush() error {
-	var batch []*zgrab.Result
+	batch := s.batch[:0]
 	for i, b := range s.buckets {
 		batch = append(batch, b...)
 		s.buckets[i] = b[:0]
 	}
 	sort.Slice(batch, func(i, j int) bool { return batch[i].Seq < batch[j].Seq })
 	s.all = append(s.all, batch...)
+	s.batch = batch
 	if s.enc != nil {
+		s.encBuf.b = s.encBuf.b[:0]
 		for _, r := range batch {
 			if err := s.enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		if len(s.encBuf.b) > 0 {
+			if _, err := s.cw.Write(s.encBuf.b); err != nil {
 				return err
 			}
 		}
@@ -215,7 +272,7 @@ func (p *Pipeline) checkpoint(next int, shards []*collectShard, scanner *zgrab.S
 		Shards:        make([]ShardState, len(shards)),
 		CapLog:        append([]CapRecord(nil), p.capLog...),
 		Scan:          scanner.Snapshot(),
-		PoolScores:    make(map[string]float64, len(p.Servers)),
+		PoolScores:    make(PoolScoreMap, len(p.Servers)),
 		OutOffset:     outOffset,
 	}
 	for i, sh := range shards {
@@ -268,8 +325,8 @@ func (p *Pipeline) restore(cp *Checkpoint) error {
 	for _, rec := range cp.CapLog {
 		p.euiShards.Add(rec.Addr, rec.Country)
 		if p.sumShards.Add(rec.Addr) {
-			if n := p.perCountryN[rec.Country]; n != nil {
-				n.Add(1)
+			if vs, ok := p.ServerByCountry(rec.Country); ok {
+				p.perCountryN[vs.idx].Add(1)
 			}
 		}
 	}

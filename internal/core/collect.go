@@ -24,10 +24,19 @@ type collectShard struct {
 	vol   *rng.Stream // volume-channel sampling
 	resp  *rng.Stream // responsive-channel re-capture draws
 	ports *rng.Stream // client source ports
-	// ntp holds per-country capture servers for the codec fast path;
-	// their hooks record into this shard.
-	ntp map[string]*ntp.Server
-	// feed buffers this shard's captures within the current slice.
+	// ntp holds per-vantage capture servers for the codec fast path,
+	// indexed by VantageServer.idx; their hooks record into this shard.
+	ntp []*ntp.Server
+	// reqBuf/respBuf are the shard's reusable NTP wire buffers: the
+	// codec fast path encodes every request and receives every response
+	// here, so steady-state captures allocate nothing. Owned by exactly
+	// one shard, never shared — pooling per shard keeps the buffers out
+	// of any cross-goroutine ordering.
+	reqBuf  []byte
+	respBuf []byte
+	// feed buffers this shard's captures within the current slice;
+	// preallocated from the capture budget so steady-state appends never
+	// grow it.
 	feed []netip.Addr
 	// capLog buffers this shard's first-seen captures for the
 	// checkpoint log (only when the pipeline records captures); gathered
@@ -48,13 +57,20 @@ type collectShard struct {
 // streams are fast-forwarded to their checkpointed positions instead.
 func (p *Pipeline) makeCollectShards() []*collectShard {
 	shards := make([]*collectShard, p.Cfg.CollectShards)
+	// Size each shard's feed for its slice share of the capture budget
+	// (volume events split across slices and shards, plus headroom for
+	// the responsive channel) so steady-state appends never regrow it.
+	feedCap := p.captureBudget()/(collectSlices*len(shards)) + 64
 	for i := range shards {
 		sh := &collectShard{
-			idx:   i,
-			vol:   p.rng.DeriveIndexed("volume/shard", i),
-			resp:  p.rng.DeriveIndexed("responsive/shard", i),
-			ports: p.rng.DeriveIndexed("ports/shard", i),
-			ntp:   make(map[string]*ntp.Server, len(p.Servers)),
+			idx:     i,
+			vol:     p.rng.DeriveIndexed("volume/shard", i),
+			resp:    p.rng.DeriveIndexed("responsive/shard", i),
+			ports:   p.rng.DeriveIndexed("ports/shard", i),
+			ntp:     make([]*ntp.Server, len(p.Servers)),
+			reqBuf:  make([]byte, 0, ntp.PacketSize),
+			respBuf: make([]byte, 0, ntp.PacketSize),
+			feed:    make([]netip.Addr, 0, feedCap),
 		}
 		if p.restoreCp != nil && i < len(p.restoreCp.Shards) {
 			st := p.restoreCp.Shards[i]
@@ -63,17 +79,25 @@ func (p *Pipeline) makeCollectShards() []*collectShard {
 			sh.ports.SetState(st.Ports)
 		}
 		for _, vs := range p.Servers {
-			country := vs.Country
-			sh.ntp[country] = ntp.NewServer(ntp.ServerConfig{
+			vi := vs.idx
+			sh.ntp[vi] = ntp.NewServer(ntp.ServerConfig{
 				Now: p.W.Clock().Now,
 				Capture: func(client netip.AddrPort, at time.Time) {
-					p.recordCaptureShard(sh, client.Addr(), country, at)
+					p.recordCaptureShard(sh, client.Addr(), vi, at)
 				},
 			})
 		}
 		shards[i] = sh
 	}
 	return shards
+}
+
+// captureBudget resolves Config.CaptureBudget with its default.
+func (p *Pipeline) captureBudget() int {
+	if p.Cfg.CaptureBudget != 0 {
+		return p.Cfg.CaptureBudget
+	}
+	return 3 * p.expectedDistinct()
 }
 
 // collectQuota is one vantage country's volume-channel event budget.
@@ -132,10 +156,7 @@ func (p *Pipeline) sliceTime(s int) time.Time {
 // onSlice, when non-nil, runs after each slice is fully drained — the
 // quiescent point where the checkpointer snapshots shard streams.
 func (p *Pipeline) collectFrom(startSlice int, batch func([]netip.Addr), drain func(), onSlice func(next int, shards []*collectShard)) {
-	budget := p.Cfg.CaptureBudget
-	if budget == 0 {
-		budget = 3 * p.expectedDistinct()
-	}
+	budget := p.captureBudget()
 	clock := p.W.Clock()
 
 	// Per-country event quotas: sync mass x tuned share. The share is
@@ -209,14 +230,20 @@ func (p *Pipeline) collectFrom(startSlice int, batch func([]netip.Addr), drain f
 		}
 	}
 
-	// Publish the collection outputs in canonical order.
+	// Publish the collection outputs in canonical order. PerCountry is
+	// reused across publishes: cleared and refilled in place, with the
+	// deploy-time server-count capacity (the only keys it can ever hold).
 	p.Captures = int(p.captures.Load())
 	p.Summary = p.sumShards.Merge()
 	p.EUI = p.euiShards.Merge()
-	p.PerCountry = make(map[string]int)
-	for country, n := range p.perCountryN {
-		if v := int(n.Load()); v > 0 {
-			p.PerCountry[country] = v
+	if p.PerCountry == nil {
+		p.PerCountry = make(map[string]int, len(p.Servers))
+	} else {
+		clear(p.PerCountry)
+	}
+	for i := range p.perCountryN {
+		if v := int(p.perCountryN[i].Load()); v > 0 {
+			p.PerCountry[p.Servers[i].Country] = v
 		}
 	}
 }

@@ -115,6 +115,22 @@ type VantageServer struct {
 	Country string
 	Addr    netip.Addr
 	NTP     *ntp.Server
+
+	// idx is the server's position in Pipeline.Servers; the dense index
+	// behind the per-vantage counter slices and the shards' server
+	// tables (hot paths index instead of hashing country strings).
+	idx int
+}
+
+// countryKey is a 2-letter ISO country code packed into a comparable
+// array — the allocation-free key of serverByCountry.
+type countryKey [2]byte
+
+func ckey(code string) (countryKey, bool) {
+	if len(code) != 2 {
+		return countryKey{}, false
+	}
+	return countryKey{code[0], code[1]}, true
 }
 
 // CaptureRecord is one captured client address with its capturing
@@ -153,18 +169,20 @@ type Pipeline struct {
 	respCache []*world.Device
 
 	// serverByCountry indexes Servers for the per-device lookup on the
-	// responsive channel.
-	serverByCountry map[string]*VantageServer
+	// responsive channel, keyed by the packed country code (no string
+	// hashing on the per-device path).
+	serverByCountry map[countryKey]*VantageServer
 
 	// Concurrent accumulators behind the published outputs: hash-
 	// sharded dedup summaries and atomic counters, merged into
 	// Summary/EUI/PerCountry/Captures in fixed order when Collect
-	// finishes. perCountryN is keyed at deploy time (the vantage set is
-	// fixed), so collection workers only ever load-and-add.
+	// finishes. perCountryN is indexed by VantageServer.idx and sized at
+	// deploy time (the vantage set is fixed), so collection workers only
+	// ever load-and-add — no map lookups, no pointer boxing.
 	sumShards   *analysis.ShardedAddrSummary
 	euiShards   *analysis.ShardedEUI64Stats
 	captures    atomic.Int64
-	perCountryN map[string]*atomic.Int64
+	perCountryN []atomic.Int64
 
 	// activeShard routes fabric-side capture hooks to the collection
 	// shard being driven. Only the FullPacketNTP path uses it — the
@@ -205,9 +223,7 @@ func NewPipeline(cfg Config) *Pipeline {
 			Geo: w.Geo,
 			OUI: w.OUIReg,
 		},
-		PerCountry:      make(map[string]int),
-		serverByCountry: make(map[string]*VantageServer),
-		perCountryN:     make(map[string]*atomic.Int64),
+		serverByCountry: make(map[countryKey]*VantageServer),
 		rng:             rng.New(cfg.Seed ^ 0xc0fe),
 	}
 	p.Summary = analysis.NewAddrSummary(p.Ctx)
@@ -243,23 +259,27 @@ func (p *Pipeline) deployServers() {
 		}
 		country := spec.Code
 		addr := ipv6x.FromParts(0x2a10_0000_0000_0000|uint64(c.Index)<<32, 0x123)
+		vs := &VantageServer{ID: "ours-" + country, Country: country, Addr: addr, idx: len(p.Servers)}
 		srv := ntp.NewServer(ntp.ServerConfig{
 			Now: p.W.Clock().Now,
 			Capture: func(client netip.AddrPort, at time.Time) {
-				p.recordCapture(client.Addr(), country, at)
+				p.recordCapture(client.Addr(), vs.idx, at)
 			},
 		})
+		vs.NTP = srv
 		p.W.Fabric().Register(addr, netsim.NewHost("vantage-"+country).HandleUDP(ntp.Port, srv.Handle))
-		vs := &VantageServer{ID: "ours-" + country, Country: country, Addr: addr, NTP: srv}
 		p.Servers = append(p.Servers, vs)
-		p.serverByCountry[country] = vs
-		p.perCountryN[country] = &atomic.Int64{}
+		if k, ok := ckey(country); ok {
+			p.serverByCountry[k] = vs
+		}
 		p.Pool.AddServer(&ntppool.Server{
 			ID: vs.ID, Country: country, Addr: addr, NetSpeed: 1,
 		})
 		p.tuneNetspeed(vs)
 	}
 	p.Pool.SetGlobalBackground(5000)
+	p.perCountryN = make([]atomic.Int64, len(p.Servers))
+	p.PerCountry = make(map[string]int, len(p.Servers))
 }
 
 // tuneNetspeed raises the server's weight step by step until its zone
@@ -277,27 +297,34 @@ func (p *Pipeline) tuneNetspeed(vs *VantageServer) {
 
 // ServerByCountry returns the vantage deployment for a country.
 func (p *Pipeline) ServerByCountry(code string) (*VantageServer, bool) {
-	vs, ok := p.serverByCountry[code]
+	k, ok := ckey(code)
+	if !ok {
+		return nil, false
+	}
+	vs, ok := p.serverByCountry[k]
 	return vs, ok
 }
 
 // recordCapture is the fabric-side capture hook (FullPacketNTP and any
 // stray NTP traffic reaching a vantage address): it attributes the
 // event to the shard currently being driven, if any.
-func (p *Pipeline) recordCapture(addr netip.Addr, country string, at time.Time) {
-	p.recordCaptureShard(p.activeShard, addr, country, at)
+func (p *Pipeline) recordCapture(addr netip.Addr, vantage int, at time.Time) {
+	p.recordCaptureShard(p.activeShard, addr, vantage, at)
 }
 
 // recordCaptureShard is the capture hook: dedup, statistics, and the
 // real-time feed. Statistics go to the sharded accumulators (safe and
 // order-independent under concurrency); the address itself lands in the
 // shard's feed buffer, merged in shard order at the slice boundary.
-func (p *Pipeline) recordCaptureShard(sh *collectShard, addr netip.Addr, country string, at time.Time) {
+// vantage indexes Pipeline.Servers; the country string is read off the
+// (immutable) server record only where needed.
+func (p *Pipeline) recordCaptureShard(sh *collectShard, addr netip.Addr, vantage int, at time.Time) {
 	p.captures.Add(1)
 	if sh != nil && sh.volumeStats {
+		country := p.Servers[vantage].Country
 		p.euiShards.Add(addr, country)
 		if p.sumShards.Add(addr) {
-			p.perCountryN[country].Add(1)
+			p.perCountryN[vantage].Add(1)
 			if p.recordCaps {
 				// First sighting: log it so a resume can replay the
 				// accumulator state. Only fresh addresses are logged —
@@ -317,7 +344,9 @@ func (p *Pipeline) recordCaptureShard(sh *collectShard, addr netip.Addr, country
 // captureVia routes one client sync through the vantage server: either
 // a full UDP exchange on the fabric or the shard's codec fast path.
 // Both paths run the same ntp.Server logic and fire the same capture
-// hook.
+// hook. The fast path encodes the request and receives the response in
+// the shard's scratch buffers — zero heap allocations per capture in
+// steady state (asserted by TestCaptureFastPathZeroAlloc).
 func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.Addr) error {
 	now := p.W.Clock().Now()
 	port := 40000 + uint16(sh.ports.Intn(20000))
@@ -338,8 +367,11 @@ func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.
 			p.W.Clock().Now, 10*time.Millisecond)
 		return err
 	}
-	req := ntp.NewClientPacket(now).Encode()
-	if resp := sh.ntp[vs.Country].Respond(netip.AddrPortFrom(client, port), req); resp == nil {
+	req := ntp.ClientPacket(now)
+	sh.reqBuf = req.AppendEncode(sh.reqBuf[:0])
+	resp, ok := sh.ntp[vs.idx].RespondAppend(netip.AddrPortFrom(client, port), sh.reqBuf, sh.respBuf[:0])
+	sh.respBuf = resp
+	if !ok {
 		return fmt.Errorf("core: vantage %s dropped request", vs.ID)
 	}
 	return nil

@@ -107,10 +107,19 @@ var LivenessPorts = []uint16{80, 443, 22}
 // Probe reports whether addr appears alive from src: any accepted or
 // refused connection counts, timeouts do not.
 func Probe(ctx context.Context, fabric *netsim.Network, src, addr netip.Addr, timeout time.Duration) bool {
+	// On a manual clock the fabric resolves every dial synchronously —
+	// blackholes fail immediately — so the per-port timeout context
+	// would only allocate, never fire.
+	_, logical := fabric.Clock().(*netsim.ManualClock)
 	for _, port := range LivenessPorts {
-		pctx, cancel := context.WithTimeout(ctx, timeout)
+		pctx, cancel := ctx, context.CancelFunc(nil)
+		if !logical {
+			pctx, cancel = context.WithTimeout(ctx, timeout)
+		}
 		conn, err := fabric.DialTCP(pctx, src, netip.AddrPortFrom(addr, port))
-		cancel()
+		if cancel != nil {
+			cancel()
+		}
 		if err == nil {
 			conn.Close()
 			return true

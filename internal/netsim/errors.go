@@ -1,5 +1,7 @@
 package netsim
 
+import "net"
+
 // Typed dial/socket errors. They implement net.Error so callers can
 // classify failures structurally (Timeout/Temporary) instead of
 // matching error strings — the scanner's retry layer depends on this.
@@ -38,3 +40,33 @@ var (
 	// ErrPortInUse is returned when binding an already-bound UDP socket.
 	ErrPortInUse = &Error{msg: "netsim: address already in use"}
 )
+
+// Dial-path *net.OpError singletons. Every failed dial used to wrap its
+// sentinel in a fresh OpError — and callers that stringify the failure
+// (scan results record err.Error()) then paid a second allocation per
+// probe for an identical message. Sharing the values is safe: OpError
+// is immutable once built and these carry no per-call state.
+var (
+	errDialRefused = &net.OpError{Op: "dial", Net: "tcp", Err: ErrConnRefused}
+	errDialTimeout = &net.OpError{Op: "dial", Net: "tcp", Err: ErrTimeout}
+
+	errDialRefusedStr = errDialRefused.Error()
+	errDialTimeoutStr = errDialTimeout.Error()
+)
+
+// DialErrString returns err.Error() without allocating when err is one
+// of the fabric's shared dial errors. Scan-result recording calls this
+// on every failed probe.
+func DialErrString(err error) string {
+	switch err {
+	case errDialRefused:
+		return errDialRefusedStr
+	case errDialTimeout:
+		return errDialTimeoutStr
+	case ErrConnRefused:
+		return ErrConnRefused.msg
+	case ErrTimeout:
+		return ErrTimeout.msg
+	}
+	return err.Error()
+}

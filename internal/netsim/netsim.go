@@ -294,7 +294,7 @@ func (n *Network) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPor
 			return client, nil
 		}
 		if !host.Filtered {
-			return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrConnRefused}
+			return nil, errDialRefused
 		}
 	}
 	return n.blackholeDial(ctx)
@@ -306,15 +306,15 @@ func (n *Network) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPor
 // only throttles the simulation and the dial fails immediately.
 func (n *Network) blackholeDial(ctx context.Context) (net.Conn, error) {
 	if _, logical := n.clock.(*ManualClock); logical {
-		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrTimeout}
+		return nil, errDialTimeout
 	}
 	timer := time.NewTimer(n.cfg.DialTimeout)
 	defer timer.Stop()
 	select {
 	case <-ctx.Done():
-		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrTimeout}
+		return nil, errDialTimeout
 	case <-timer.C:
-		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: ErrTimeout}
+		return nil, errDialTimeout
 	}
 }
 

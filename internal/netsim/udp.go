@@ -19,6 +19,11 @@ type UDPConn struct {
 	closed bool
 	notify chan struct{}
 	readDL pipeDeadline
+	// dlArmed replaces the wall timer under a manual clock: a deadlined
+	// read on an empty queue fails immediately there (delivery is
+	// synchronous), so arming a real timer per SetReadDeadline — one
+	// allocation per CoAP probe — would only feed the garbage collector.
+	dlArmed bool
 }
 
 type datagram struct {
@@ -31,7 +36,6 @@ func newUDPConn(n *Network, local netip.AddrPort) *UDPConn {
 		net:    n,
 		local:  local,
 		notify: make(chan struct{}, 1),
-		readDL: makePipeDeadline(),
 	}
 }
 
@@ -80,20 +84,20 @@ func (c *UDPConn) ReadFrom(p []byte) (int, netip.AddrPort, error) {
 			c.mu.Unlock()
 			return copy(p, d.payload), d.from, nil
 		}
-		closed := c.closed
+		closed, dlArmed := c.closed, c.dlArmed
 		c.mu.Unlock()
 		if closed {
 			return 0, netip.AddrPort{}, net.ErrClosed
-		}
-		if isClosedChan(c.readDL.wait()) {
-			return 0, netip.AddrPort{}, os.ErrDeadlineExceeded
 		}
 		// On a manual clock a deadlined read on an empty queue has
 		// already missed its answer: datagram delivery is synchronous
 		// (SendUDP enqueues any response before returning), so nothing
 		// can arrive while we wait and the wall-clock deadline would
 		// only stall the simulation.
-		if _, logical := c.net.clock.(*ManualClock); logical && c.readDL.armed() {
+		if dlArmed {
+			return 0, netip.AddrPort{}, os.ErrDeadlineExceeded
+		}
+		if isClosedChan(c.readDL.wait()) {
 			return 0, netip.AddrPort{}, os.ErrDeadlineExceeded
 		}
 		select {
@@ -108,6 +112,11 @@ func (c *UDPConn) ReadFrom(p []byte) (int, netip.AddrPort, error) {
 func (c *UDPConn) SetReadDeadline(t time.Time) error {
 	c.mu.Lock()
 	closed := c.closed
+	if _, logical := c.net.clock.(*ManualClock); logical && !closed {
+		c.dlArmed = !t.IsZero()
+		c.mu.Unlock()
+		return nil
+	}
 	c.mu.Unlock()
 	if closed {
 		return net.ErrClosed

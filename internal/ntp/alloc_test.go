@@ -1,0 +1,64 @@
+package ntp
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// TestEncodeDecodeZeroAlloc pins the codec's steady state: encoding
+// into a caller-owned buffer and decoding into a caller-owned packet
+// must not touch the heap — the collection fast path runs this once
+// per capture event.
+func TestEncodeDecodeZeroAlloc(t *testing.T) {
+	now := time.Date(2024, 7, 20, 12, 0, 0, 0, time.UTC)
+	buf := make([]byte, 0, PacketSize)
+	var pkt Packet
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		req := ClientPacket(now)
+		buf = req.AppendEncode(buf[:0])
+		if err := DecodeInto(&pkt, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("encode/decode allocated %v times per run, want 0", allocs)
+	}
+	if pkt.Mode != ModeClient || pkt.Version != 4 {
+		t.Fatalf("round trip corrupted the packet: %+v", pkt)
+	}
+}
+
+// TestRespondAppendZeroAlloc pins the server's datagram cycle: decode,
+// rate check, response build, capture hook — all without allocating
+// once the scratch buffers exist.
+func TestRespondAppendZeroAlloc(t *testing.T) {
+	now := time.Date(2024, 7, 20, 12, 0, 0, 0, time.UTC)
+	captured := 0
+	s := NewServer(ServerConfig{
+		Now:     func() time.Time { return now },
+		Capture: func(client netip.AddrPort, at time.Time) { captured++ },
+	})
+	client := netip.MustParseAddrPort("[2001:db8::1]:40000")
+	req := ClientPacket(now)
+	reqBuf := req.AppendEncode(nil)
+	respBuf := make([]byte, 0, PacketSize)
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		out, ok := s.RespondAppend(client, reqBuf, respBuf[:0])
+		if !ok {
+			t.Fatal("request not answered")
+		}
+		respBuf = out
+	})
+	if allocs != 0 {
+		t.Fatalf("RespondAppend allocated %v times per run, want 0", allocs)
+	}
+	if captured == 0 {
+		t.Fatal("capture hook never fired")
+	}
+	if len(respBuf) != PacketSize {
+		t.Fatalf("response is %d bytes, want %d", len(respBuf), PacketSize)
+	}
+}

@@ -91,8 +91,8 @@ func (s *Server) overRate(client netip.Addr, now time.Time) bool {
 }
 
 // kissOfDeath builds the stratum-0 RATE response.
-func kissOfDeath(req *Packet, now time.Time) *Packet {
-	return &Packet{
+func kissOfDeath(req *Packet, now time.Time) Packet {
+	return Packet{
 		Leap:         LeapUnsynchronized,
 		Version:      req.Version,
 		Mode:         ModeServer,
@@ -109,23 +109,38 @@ func kissOfDeath(req *Packet, now time.Time) *Packet {
 // answerable NTP request. Capture fires only for answered requests,
 // mirroring the paper's server-side logging.
 func (s *Server) Respond(client netip.AddrPort, payload []byte) []byte {
-	s.requests.Add(1)
-	req, err := Decode(payload)
-	if err != nil {
+	resp, ok := s.RespondAppend(client, payload, make([]byte, 0, PacketSize))
+	if !ok {
 		return nil
+	}
+	return resp
+}
+
+// RespondAppend is Respond with caller-owned output: the response is
+// appended onto dst (typically a reused per-shard scratch buffer) and
+// returned with ok true, or dst is returned untouched with ok false
+// when the datagram is not answerable. The entire request/response
+// cycle runs without heap allocation — the collection fast path calls
+// this once per capture event.
+func (s *Server) RespondAppend(client netip.AddrPort, payload, dst []byte) (out []byte, ok bool) {
+	s.requests.Add(1)
+	var req Packet
+	if err := DecodeInto(&req, payload); err != nil {
+		return dst, false
 	}
 	// Answer client requests; symmetric-active peers also receive a
 	// reply in real deployments but are irrelevant for address
 	// sourcing, so we keep the strict SNTP server behaviour.
 	if req.Mode != ModeClient {
-		return nil
+		return dst, false
 	}
 	now := s.cfg.Now()
 	if s.overRate(client.Addr(), now) {
 		s.limited.Add(1)
-		return kissOfDeath(req, now).Encode()
+		kod := kissOfDeath(&req, now)
+		return kod.AppendEncode(dst), true
 	}
-	resp := &Packet{
+	resp := Packet{
 		Leap:          LeapNone,
 		Version:       req.Version,
 		Mode:          ModeServer,
@@ -142,7 +157,7 @@ func (s *Server) Respond(client netip.AddrPort, payload []byte) []byte {
 	if s.cfg.Capture != nil {
 		s.cfg.Capture(client, now)
 	}
-	return resp.Encode()
+	return resp.AppendEncode(dst), true
 }
 
 // Handle adapts the server to a netsim packet handler.
@@ -158,14 +173,16 @@ func (s *Server) Handle(from netip.AddrPort, payload []byte) [][]byte {
 // error (net.ErrClosed on clean shutdown).
 func (s *Server) Serve(conn net.PacketConn) error {
 	buf := make([]byte, 1024)
+	resp := make([]byte, 0, PacketSize)
 	for {
 		n, raddr, err := conn.ReadFrom(buf)
 		if err != nil {
 			return err
 		}
 		client := addrPortOf(raddr)
-		if resp := s.Respond(client, buf[:n]); resp != nil {
-			if _, err := conn.WriteTo(resp, raddr); err != nil {
+		if out, ok := s.RespondAppend(client, buf[:n], resp[:0]); ok {
+			resp = out
+			if _, err := conn.WriteTo(out, raddr); err != nil {
 				return err
 			}
 		}

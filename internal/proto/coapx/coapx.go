@@ -6,6 +6,7 @@
 package coapx
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -76,24 +77,33 @@ var (
 // Marshal serialises the message. Options are sorted by number as the
 // delta encoding requires.
 func (m *Message) Marshal() ([]byte, error) {
+	return m.MarshalAppend(make([]byte, 0, 16+len(m.Payload)))
+}
+
+// MarshalAppend serialises the message onto dst and returns the
+// extended slice, allocating only if dst lacks capacity. Messages whose
+// options are already in ascending order — every message this codebase
+// builds — encode without the defensive copy-and-sort pass.
+func (m *Message) MarshalAppend(dst []byte) ([]byte, error) {
 	if len(m.Token) > 8 {
 		return nil, fmt.Errorf("%w: token of %d bytes", ErrMalformed, len(m.Token))
 	}
-	b := make([]byte, 4, 16+len(m.Payload))
-	b[0] = 1<<6 | byte(m.Type)<<4 | byte(len(m.Token))
-	b[1] = byte(m.Code)
-	b[2] = byte(m.MessageID >> 8)
-	b[3] = byte(m.MessageID)
+	b := append(dst,
+		1<<6|byte(m.Type)<<4|byte(len(m.Token)),
+		byte(m.Code),
+		byte(m.MessageID>>8),
+		byte(m.MessageID))
 	b = append(b, m.Token...)
 
-	opts := make([]Option, len(m.Options))
-	copy(opts, m.Options)
-	sort.SliceStable(opts, func(i, j int) bool { return opts[i].Number < opts[j].Number })
+	opts := m.Options
+	if !optionsSorted(opts) {
+		sorted := make([]Option, len(opts))
+		copy(sorted, opts)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Number < sorted[j].Number })
+		opts = sorted
+	}
 	prev := uint16(0)
 	for _, o := range opts {
-		if o.Number < prev {
-			return nil, fmt.Errorf("%w: option order", ErrMalformed)
-		}
 		delta := o.Number - prev
 		prev = o.Number
 		b = appendOptionHeader(b, delta, len(o.Value))
@@ -104,6 +114,15 @@ func (m *Message) Marshal() ([]byte, error) {
 		b = append(b, m.Payload...)
 	}
 	return b, nil
+}
+
+func optionsSorted(opts []Option) bool {
+	for i := 1; i < len(opts); i++ {
+		if opts[i].Number < opts[i-1].Number {
+			return false
+		}
+	}
+	return true
 }
 
 // appendOptionHeader encodes delta/length nibbles with 13/14 extensions.
@@ -128,38 +147,59 @@ func nibble(v int) (int, []byte) {
 	}
 }
 
-// Parse decodes a CoAP message.
+// Parse decodes a CoAP message. The returned message owns its memory
+// (token, option values and payload are copied out of b).
 func Parse(b []byte) (*Message, error) {
+	m := &Message{}
+	if err := parseInto(m, b, true); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseInto decodes b into m, reusing m's token/options/payload
+// capacity. With copyData false the decoded slices alias b — the
+// zero-copy mode of callers that own the receive buffer and finish
+// with the message before reusing it.
+func parseInto(m *Message, b []byte, copyData bool) error {
 	if len(b) < 4 {
-		return nil, ErrMalformed
+		return ErrMalformed
 	}
 	if b[0]>>6 != 1 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
-	m := &Message{
-		Type:      Type(b[0] >> 4 & 0x3),
-		Code:      Code(b[1]),
-		MessageID: uint16(b[2])<<8 | uint16(b[3]),
-	}
+	m.Type = Type(b[0] >> 4 & 0x3)
+	m.Code = Code(b[1])
+	m.MessageID = uint16(b[2])<<8 | uint16(b[3])
+	m.Options = m.Options[:0]
+	m.Payload = m.Payload[:0]
 	tkl := int(b[0] & 0x0f)
 	if tkl > 8 {
-		return nil, ErrMalformed
+		return ErrMalformed
 	}
 	b = b[4:]
 	if len(b) < tkl {
-		return nil, ErrMalformed
+		return ErrMalformed
 	}
-	m.Token = append([]byte(nil), b[:tkl]...)
+	if copyData {
+		m.Token = append(m.Token[:0], b[:tkl]...)
+	} else {
+		m.Token = b[:tkl]
+	}
 	b = b[tkl:]
 
 	num := 0
 	for len(b) > 0 {
 		if b[0] == 0xff {
 			if len(b) == 1 {
-				return nil, fmt.Errorf("%w: empty payload after marker", ErrMalformed)
+				return fmt.Errorf("%w: empty payload after marker", ErrMalformed)
 			}
-			m.Payload = append([]byte(nil), b[1:]...)
-			return m, nil
+			if copyData {
+				m.Payload = append(m.Payload[:0], b[1:]...)
+			} else {
+				m.Payload = b[1:]
+			}
+			return nil
 		}
 		dn := int(b[0] >> 4)
 		ln := int(b[0] & 0x0f)
@@ -167,24 +207,28 @@ func Parse(b []byte) (*Message, error) {
 		var err error
 		var delta, length int
 		if delta, b, err = readExt(dn, b); err != nil {
-			return nil, err
+			return err
 		}
 		if length, b, err = readExt(ln, b); err != nil {
-			return nil, err
+			return err
 		}
 		if len(b) < length {
-			return nil, ErrMalformed
+			return ErrMalformed
 		}
 		num += delta
 		if num > 0xffff {
 			// Accumulated option numbers beyond 16 bits would wrap and
 			// break the ascending-order invariant.
-			return nil, fmt.Errorf("%w: option number overflow", ErrMalformed)
+			return fmt.Errorf("%w: option number overflow", ErrMalformed)
 		}
-		m.Options = append(m.Options, Option{Number: uint16(num), Value: append([]byte(nil), b[:length]...)})
+		val := b[:length]
+		if copyData {
+			val = append([]byte(nil), val...)
+		}
+		m.Options = append(m.Options, Option{Number: uint16(num), Value: val})
 		b = b[length:]
 	}
-	return m, nil
+	return nil
 }
 
 func readExt(n int, b []byte) (int, []byte, error) {
@@ -249,10 +293,17 @@ func EncodeLinkFormat(paths []string) string {
 }
 
 // ParseLinkFormat extracts the resource paths from a link-format
-// document, ignoring attributes.
+// document, ignoring attributes. The comma-separated entries are
+// walked in place rather than pre-split into a throwaway slice.
 func ParseLinkFormat(doc string) []string {
 	var out []string
-	for _, part := range strings.Split(doc, ",") {
+	for len(doc) > 0 {
+		part := doc
+		if i := strings.IndexByte(doc, ','); i >= 0 {
+			part, doc = doc[:i], doc[i+1:]
+		} else {
+			doc = ""
+		}
 		part = strings.TrimSpace(part)
 		start := strings.IndexByte(part, '<')
 		end := strings.IndexByte(part, '>')
@@ -260,6 +311,29 @@ func ParseLinkFormat(doc string) []string {
 			continue
 		}
 		out = append(out, part[start+1:end])
+	}
+	return out
+}
+
+// parseLinkFormatBytes is ParseLinkFormat for a byte-slice document the
+// caller owns: only the retained path strings are allocated, not a
+// string copy of the whole document.
+func parseLinkFormatBytes(doc []byte) []string {
+	var out []string
+	for len(doc) > 0 {
+		part := doc
+		if i := bytes.IndexByte(doc, ','); i >= 0 {
+			part, doc = doc[:i], doc[i+1:]
+		} else {
+			doc = nil
+		}
+		part = bytes.TrimSpace(part)
+		start := bytes.IndexByte(part, '<')
+		end := bytes.IndexByte(part, '>')
+		if start < 0 || end < 0 || end <= start+1 {
+			continue
+		}
+		out = append(out, string(part[start+1:end]))
 	}
 	return out
 }

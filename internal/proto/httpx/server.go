@@ -4,8 +4,27 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
+	"sync"
 )
+
+// serverReaders pools the per-connection buffered readers; a device
+// answers one request per connection, so the reader's lifetime is one
+// ServeConn call.
+var serverReaders = sync.Pool{
+	New: func() any { return bufio.NewReader(nil) },
+}
+
+// responseBufs pools the response assembly buffers so writeResponse
+// neither grows a fresh strings.Builder nor double-copies it into a
+// []byte for conn.Write.
+var responseBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
 
 // ServerOptions describes the web interface a simulated device presents.
 type ServerOptions struct {
@@ -62,7 +81,12 @@ func renderPage(title string) string {
 // Connection: close style. Malformed requests get a 400.
 func ServeConn(conn net.Conn, opts ServerOptions) {
 	defer conn.Close()
-	br := bufio.NewReader(conn)
+	br := serverReaders.Get().(*bufio.Reader)
+	br.Reset(conn)
+	defer func() {
+		br.Reset(nil)
+		serverReaders.Put(br)
+	}()
 	reqLine, err := readLine(br)
 	if err != nil {
 		return
@@ -117,16 +141,27 @@ func writeResponse(conn net.Conn, code int, serverHeader, contentType, body stri
 	if contentType == "" {
 		contentType = "text/html; charset=utf-8"
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", code, statusText(code))
+	bp := responseBufs.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, "HTTP/1.1 "...)
+	b = strconv.AppendInt(b, int64(code), 10)
+	b = append(b, ' ')
+	b = append(b, statusText(code)...)
+	b = append(b, "\r\n"...)
 	if serverHeader != "" {
-		fmt.Fprintf(&b, "Server: %s\r\n", serverHeader)
+		b = append(b, "Server: "...)
+		b = append(b, serverHeader...)
+		b = append(b, "\r\n"...)
 	}
-	fmt.Fprintf(&b, "Content-Type: %s\r\n", contentType)
-	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
-	b.WriteString("Connection: close\r\n\r\n")
-	b.WriteString(body)
-	conn.Write([]byte(b.String()))
+	b = append(b, "Content-Type: "...)
+	b = append(b, contentType...)
+	b = append(b, "\r\nContent-Length: "...)
+	b = strconv.AppendInt(b, int64(len(body)), 10)
+	b = append(b, "\r\nConnection: close\r\n\r\n"...)
+	b = append(b, body...)
+	conn.Write(b)
+	*bp = b[:0]
+	responseBufs.Put(bp)
 }
 
 // Handler returns a netsim-compatible stream handler serving opts.

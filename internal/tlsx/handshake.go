@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 )
 
 // Handshake message framing: one type byte, a 3-byte big-endian length,
@@ -23,15 +24,31 @@ var (
 	ErrNotTLS = errors.New("tlsx: peer did not speak the handshake protocol")
 )
 
-func writeMsg(w io.Writer, typ byte, payload []byte) error {
-	hdr := []byte{typ, byte(len(payload) >> 16), byte(len(payload) >> 8), byte(len(payload))}
-	if _, err := w.Write(append(hdr, payload...)); err != nil {
-		return err
-	}
-	return nil
+// msgBufs pools handshake scratch buffers. Every TLS probe frames two
+// messages and parses one; with the hitlist's millions of handshakes
+// the per-message allocations were a visible slice of campaign heap
+// profiles. Certificates comfortably fit the initial capacity.
+var msgBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
 }
 
-func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	bp := msgBufs.Get().(*[]byte)
+	b := append((*bp)[:0], typ, byte(len(payload)>>16), byte(len(payload)>>8), byte(len(payload)))
+	b = append(b, payload...)
+	_, err := w.Write(b)
+	*bp = b[:0]
+	msgBufs.Put(bp)
+	return err
+}
+
+// readMsg reads one handshake message into *scratch (growing it if
+// needed); the returned payload aliases the scratch buffer and is only
+// valid until the caller releases it.
+func readMsg(r io.Reader, scratch *[]byte) (typ byte, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
@@ -44,12 +61,39 @@ func readMsg(r io.Reader) (typ byte, payload []byte, err error) {
 	if n > maxHandshakeLen {
 		return 0, nil, fmt.Errorf("tlsx: handshake message of %d bytes exceeds limit", n)
 	}
-	payload = make([]byte, n)
+	if cap(*scratch) < n {
+		*scratch = make([]byte, n)
+	}
+	payload = (*scratch)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, err
 	}
 	return typ, payload, nil
 }
+
+// Alert errors are a fixed set; the scan path compares and stringifies
+// them but never mutates, so each reason is a shared value.
+var alertErrors = map[AlertReason]*AlertError{
+	AlertHandshakeFailure:  {Reason: AlertHandshakeFailure},
+	AlertUnrecognizedName:  {Reason: AlertUnrecognizedName},
+	AlertProtocolVersion:   {Reason: AlertProtocolVersion},
+	AlertInternalError:     {Reason: AlertInternalError},
+	AlertAccessDeniedAlert: {Reason: AlertAccessDeniedAlert},
+}
+
+func alertError(r AlertReason) *AlertError {
+	if e, ok := alertErrors[r]; ok {
+		return e
+	}
+	return &AlertError{Reason: r}
+}
+
+// Constant one-byte alert payloads for the rejection paths.
+var (
+	alertHandshakeFailurePayload = []byte{byte(AlertHandshakeFailure)}
+	alertUnrecognizedNamePayload = []byte{byte(AlertUnrecognizedName)}
+	alertProtocolVersionPayload  = []byte{byte(AlertProtocolVersion)}
+)
 
 // ClientConfig configures a client-side handshake.
 type ClientConfig struct {
@@ -94,20 +138,30 @@ func (c *Conn) State() ConnState { return c.state }
 // Client performs the client side of the handshake over conn. On success
 // the returned Conn carries the server certificate; the underlying conn
 // must not be used directly afterwards.
+// helloNoSNI is the client hello of the mass-scan probing mode (no
+// server name, maximum version TLS 1.3) — the only hello the campaign
+// hot path sends, precomputed.
+var helloNoSNI = []byte{byte(VersionTLS13 >> 8), byte(VersionTLS13 & 0xff), 0, 0}
+
 func Client(conn net.Conn, cfg ClientConfig) (*Conn, error) {
 	maxV := cfg.MaxVersion
 	if maxV == 0 {
 		maxV = VersionTLS13
 	}
-	hello := make([]byte, 2+2+len(cfg.ServerName))
-	binary.BigEndian.PutUint16(hello, uint16(maxV))
-	binary.BigEndian.PutUint16(hello[2:], uint16(len(cfg.ServerName)))
-	copy(hello[4:], cfg.ServerName)
+	hello := helloNoSNI
+	if maxV != VersionTLS13 || cfg.ServerName != "" {
+		hello = make([]byte, 2+2+len(cfg.ServerName))
+		binary.BigEndian.PutUint16(hello, uint16(maxV))
+		binary.BigEndian.PutUint16(hello[2:], uint16(len(cfg.ServerName)))
+		copy(hello[4:], cfg.ServerName)
+	}
 	if err := writeMsg(conn, msgClientHello, hello); err != nil {
 		return nil, err
 	}
 
-	typ, payload, err := readMsg(conn)
+	bp := msgBufs.Get().(*[]byte)
+	defer msgBufs.Put(bp)
+	typ, payload, err := readMsg(conn, bp)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +170,7 @@ func Client(conn net.Conn, cfg ClientConfig) (*Conn, error) {
 		if len(payload) < 1 {
 			return nil, ErrNotTLS
 		}
-		return nil, &AlertError{Reason: AlertReason(payload[0])}
+		return nil, alertError(AlertReason(payload[0]))
 	case msgServerHello:
 		if len(payload) < 2 {
 			return nil, ErrNotTLS
@@ -143,39 +197,44 @@ func Server(conn net.Conn, cfg ServerConfig) (*Conn, error) {
 	if srvV == 0 {
 		srvV = VersionTLS12
 	}
-	typ, payload, err := readMsg(conn)
+	bp := msgBufs.Get().(*[]byte)
+	defer msgBufs.Put(bp)
+	typ, payload, err := readMsg(conn, bp)
 	if err != nil {
 		return nil, err
 	}
 	if typ != msgClientHello || len(payload) < 4 {
-		writeMsg(conn, msgAlert, []byte{byte(AlertHandshakeFailure)})
+		writeMsg(conn, msgAlert, alertHandshakeFailurePayload)
 		return nil, ErrNotTLS
 	}
 	clientV := Version(binary.BigEndian.Uint16(payload))
 	nameLen := int(binary.BigEndian.Uint16(payload[2:]))
 	if len(payload) < 4+nameLen {
-		writeMsg(conn, msgAlert, []byte{byte(AlertHandshakeFailure)})
+		writeMsg(conn, msgAlert, alertHandshakeFailurePayload)
 		return nil, ErrNotTLS
 	}
 	serverName := string(payload[4 : 4+nameLen])
 
 	if cfg.RequireSNI && serverName == "" {
-		writeMsg(conn, msgAlert, []byte{byte(AlertUnrecognizedName)})
-		return nil, &AlertError{Reason: AlertUnrecognizedName}
+		writeMsg(conn, msgAlert, alertUnrecognizedNamePayload)
+		return nil, alertError(AlertUnrecognizedName)
 	}
 	version := srvV
 	if clientV < version {
 		version = clientV
 	}
 	if version < VersionTLS10 {
-		writeMsg(conn, msgAlert, []byte{byte(AlertProtocolVersion)})
-		return nil, &AlertError{Reason: AlertProtocolVersion}
+		writeMsg(conn, msgAlert, alertProtocolVersionPayload)
+		return nil, alertError(AlertProtocolVersion)
 	}
 
-	resp := make([]byte, 2)
-	binary.BigEndian.PutUint16(resp, uint16(version))
-	resp = append(resp, cfg.Certificate.marshal()...)
-	if err := writeMsg(conn, msgServerHello, resp); err != nil {
+	rp := msgBufs.Get().(*[]byte)
+	resp := append((*rp)[:0], byte(version>>8), byte(version))
+	resp = cfg.Certificate.appendMarshal(resp)
+	err = writeMsg(conn, msgServerHello, resp)
+	*rp = resp[:0]
+	msgBufs.Put(rp)
+	if err != nil {
 		return nil, err
 	}
 	return &Conn{Conn: conn, state: ConnState{

@@ -24,7 +24,10 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
+
+	"ntpscan/internal/intern"
 )
 
 // Version identifies the negotiated protocol version, mirroring TLS
@@ -75,10 +78,25 @@ type Certificate struct {
 	Key        KeyID
 }
 
+// marshalBufs pools certificate encodings for Fingerprint: the scanner
+// fingerprints every completed handshake, and the transient marshal was
+// a per-result allocation. Certificates fit the initial capacity.
+var marshalBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
 // Fingerprint returns the SHA-256 digest of the certificate's canonical
 // encoding, the dedup key used throughout the analysis ("#Certs/Keys").
 func (c *Certificate) Fingerprint() [32]byte {
-	return sha256.Sum256(c.marshal())
+	bp := marshalBufs.Get().(*[]byte)
+	b := c.appendMarshal((*bp)[:0])
+	sum := sha256.Sum256(b)
+	*bp = b[:0]
+	marshalBufs.Put(bp)
+	return sum
 }
 
 // FingerprintHex is Fingerprint in lowercase hex.
@@ -95,7 +113,12 @@ func (c *Certificate) ValidAt(t time.Time) bool {
 
 // marshal encodes the certificate deterministically.
 func (c *Certificate) marshal() []byte {
-	var b []byte
+	return c.appendMarshal(make([]byte, 0, 2+len(c.Subject)+2+len(c.Issuer)+8*3+1+16))
+}
+
+// appendMarshal encodes the certificate onto b, allocating only if b
+// lacks capacity — the handshake hot path encodes into pooled buffers.
+func (c *Certificate) appendMarshal(b []byte) []byte {
 	putStr := func(s string) {
 		var l [2]byte
 		binary.BigEndian.PutUint16(l[:], uint16(len(s)))
@@ -120,7 +143,10 @@ func (c *Certificate) marshal() []byte {
 	return b
 }
 
-// unmarshalCert decodes a certificate; the inverse of marshal.
+// unmarshalCert decodes a certificate; the inverse of marshal. Subject
+// and issuer strings are interned: a mass scan decodes the same few
+// device identities millions of times, and interning makes each repeat
+// a map hit instead of a fresh string.
 func unmarshalCert(b []byte) (*Certificate, error) {
 	c := &Certificate{}
 	getStr := func() (string, error) {
@@ -132,7 +158,7 @@ func unmarshalCert(b []byte) (*Certificate, error) {
 		if len(b) < n {
 			return "", errTruncated
 		}
-		s := string(b[:n])
+		s := intern.Default.Bytes(b[:n])
 		b = b[n:]
 		return s, nil
 	}
@@ -196,7 +222,21 @@ type AlertError struct {
 	Reason AlertReason
 }
 
-// Error implements error.
+// Error implements error. The known reasons return precomputed
+// messages: the scan path stringifies every failed handshake, and a
+// per-call Sprintf was visible in campaign heap profiles.
 func (e *AlertError) Error() string {
-	return fmt.Sprintf("tlsx: alert from peer: %v", e.Reason)
+	switch e.Reason {
+	case AlertHandshakeFailure:
+		return "tlsx: alert from peer: handshake_failure"
+	case AlertUnrecognizedName:
+		return "tlsx: alert from peer: unrecognized_name"
+	case AlertProtocolVersion:
+		return "tlsx: alert from peer: protocol_version"
+	case AlertInternalError:
+		return "tlsx: alert from peer: internal_error"
+	case AlertAccessDeniedAlert:
+		return "tlsx: alert from peer: access_denied"
+	}
+	return "tlsx: alert from peer: " + e.Reason.String()
 }

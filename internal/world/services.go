@@ -134,7 +134,7 @@ func (w *World) buildHost(d *Device) *netsim.Host {
 	}
 	if p.HasService(SvcSSH) {
 		sshOpts := sshx.ServerOptions{ID: w.SSHServerID(d), HostKey: w.HostKey(d)}
-		h.HandleTCP(PortSSH, func(conn net.Conn) { sshx.ServeConn(conn, sshOpts) })
+		h.HandleTCP(PortSSH, sshx.Handler(sshOpts))
 	}
 	if p.HasService(SvcMQTT) {
 		broker := mqttx.BrokerOptions{RequireAuth: d.AuthOn}

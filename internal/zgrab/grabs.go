@@ -12,6 +12,8 @@ import (
 	"net/netip"
 	"sync"
 	"time"
+
+	"ntpscan/internal/intern"
 )
 
 // Status classifies a scan attempt's outcome, following zgrab2's status
@@ -141,7 +143,10 @@ func (jw *JSONLWriter) Count() int {
 	return jw.n
 }
 
-// ReadJSONL parses results back from a JSONL stream.
+// ReadJSONL parses results back from a JSONL stream. Repeated string
+// fields (module names, statuses, fingerprints, titles, banners) are
+// canonicalised through the shared intern table, so a re-read dataset
+// retains one copy per distinct value instead of one per line.
 func ReadJSONL(r io.Reader) ([]*Result, error) {
 	dec := json.NewDecoder(r)
 	var out []*Result
@@ -153,6 +158,45 @@ func ReadJSONL(r io.Reader) ([]*Result, error) {
 			}
 			return nil, err
 		}
+		res.internStrings()
 		out = append(out, res)
+	}
+}
+
+// internStrings replaces the result's vocabulary-bounded string fields
+// with their canonical interned instances.
+func (r *Result) internStrings() {
+	it := intern.Default
+	r.Module = it.String(r.Module)
+	r.Status = Status(it.String(string(r.Status)))
+	r.Error = it.String(r.Error)
+	if h := r.HTTP; h != nil {
+		h.Title = it.String(h.Title)
+		h.Server = it.String(h.Server)
+	}
+	if t := r.TLS; t != nil {
+		t.Version = it.String(t.Version)
+		t.Alert = it.String(t.Alert)
+		t.CertFingerprint = it.String(t.CertFingerprint)
+		t.Subject = it.String(t.Subject)
+		t.Issuer = it.String(t.Issuer)
+		t.KeyID = it.String(t.KeyID)
+	}
+	if s := r.SSH; s != nil {
+		s.ServerID = it.String(s.ServerID)
+		s.Software = it.String(s.Software)
+		s.OS = it.String(s.OS)
+		s.KeyType = it.String(s.KeyType)
+		s.KeyFingerprint = it.String(s.KeyFingerprint)
+	}
+	if a := r.AMQP; a != nil {
+		a.Product = it.String(a.Product)
+		a.Mechanisms = it.String(a.Mechanisms)
+	}
+	if c := r.CoAP; c != nil {
+		c.Code = it.String(c.Code)
+		for i, res := range c.Resources {
+			c.Resources[i] = it.String(res)
+		}
 	}
 }

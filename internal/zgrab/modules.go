@@ -2,13 +2,16 @@ package zgrab
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
 	"net/netip"
+	"sync"
 	"syscall"
 	"time"
 
+	"ntpscan/internal/intern"
 	"ntpscan/internal/netsim"
 	"ntpscan/internal/proto/amqpx"
 	"ntpscan/internal/proto/coapx"
@@ -17,6 +20,23 @@ import (
 	"ntpscan/internal/proto/sshx"
 	"ntpscan/internal/tlsx"
 )
+
+// interned canonicalises a grab string through the shared intern table:
+// fingerprints, titles, banners and version strings draw from the
+// world's bounded device vocabulary, so each distinct value is kept
+// once no matter how many results carry it.
+func interned(s string) string { return intern.Default.String(s) }
+
+// internedHex interns the lowercase hex form of raw without an
+// intermediate string allocation.
+func internedHex(raw []byte) string {
+	var scratch [64]byte
+	if hex.EncodedLen(len(raw)) > len(scratch) {
+		return interned(hex.EncodeToString(raw))
+	}
+	n := hex.Encode(scratch[:], raw)
+	return intern.Default.Bytes(scratch[:n])
+}
 
 // Module is one protocol scanner. Implementations must be safe for
 // concurrent use.
@@ -46,6 +66,18 @@ type Env struct {
 	// PortOverrides redirects a module (by name) to a non-IANA port —
 	// zgrab2's --port, needed for unprivileged real-socket targets.
 	PortOverrides map[string]uint16
+	// Logical marks a manual-clock run. Wall-clock dial guards are
+	// pointless there — the fabric resolves every dial synchronously and
+	// hands out deadline-ignoring streams — so the dial path skips the
+	// per-probe context.WithTimeout/SetDeadline machinery, which heap
+	// profiles showed as the campaign's single largest allocation site.
+	Logical bool
+
+	// udpSocks pools bound CoAP sockets. A probe socket carries no
+	// cross-probe state the scan loop doesn't already filter (stale
+	// datagrams fail the source/token checks), so reuse is invisible to
+	// results and saves a bind + buffer per UDP probe.
+	udpSocks sync.Pool
 }
 
 func (e *Env) udpTimeout() time.Duration {
@@ -69,22 +101,37 @@ func (e *Env) now() time.Time { return e.Clock.Now() }
 // dial opens a TCP connection with the module timeout applied both to
 // the dial and as the connection deadline.
 func (e *Env) dial(ctx context.Context, target netip.Addr, port uint16) (net.Conn, Status, string) {
-	dctx, cancel := context.WithTimeout(ctx, e.Timeout)
-	defer cancel()
-	conn, err := e.Net.DialTCP(dctx, e.Source, netip.AddrPortFrom(target, port))
+	if !e.Logical {
+		dctx, cancel := context.WithTimeout(ctx, e.Timeout)
+		defer cancel()
+		ctx = dctx
+	}
+	conn, err := e.Net.DialTCP(ctx, e.Source, netip.AddrPortFrom(target, port))
 	if err != nil {
 		if errors.Is(err, netsim.ErrConnRefused) || errors.Is(err, syscall.ECONNREFUSED) {
-			return nil, StatusRefused, err.Error()
+			return nil, StatusRefused, netsim.DialErrString(err)
 		}
 		// Structural classification via net.Error: a timeout is silence
 		// (filtered/dark/lossy); anything else is local I/O trouble.
+		// The direct assertion covers every error the transports return
+		// (*net.OpError and friends implement net.Error themselves);
+		// errors.As — whose target escapes to the heap per call — is
+		// kept only for exotic wrapped errors.
+		if ne, ok := err.(net.Error); ok {
+			if !ne.Timeout() {
+				return nil, StatusIOError, netsim.DialErrString(err)
+			}
+			return nil, StatusTimeout, netsim.DialErrString(err)
+		}
 		var ne net.Error
 		if errors.As(err, &ne) && !ne.Timeout() {
-			return nil, StatusIOError, err.Error()
+			return nil, StatusIOError, netsim.DialErrString(err)
 		}
-		return nil, StatusTimeout, err.Error()
+		return nil, StatusTimeout, netsim.DialErrString(err)
 	}
-	conn.SetDeadline(time.Now().Add(e.Timeout))
+	if !e.Logical {
+		conn.SetDeadline(time.Now().Add(e.Timeout))
+	}
 	return conn, StatusSuccess, ""
 }
 
@@ -123,17 +170,20 @@ func ModulesByName(names []string) ([]Module, error) {
 	return out, nil
 }
 
-// tlsGrab converts a completed handshake state.
+// tlsGrab converts a completed handshake state. Fingerprint and key
+// hex strings go through the intern table — the same certificate is
+// grabbed once per responsive address it serves.
 func tlsGrab(st tlsx.ConnState) *TLSGrab {
 	cert := st.Certificate
+	fp := cert.Fingerprint()
 	return &TLSGrab{
 		Version:         st.Version.String(),
 		HandshakeOK:     true,
-		CertFingerprint: cert.FingerprintHex(),
+		CertFingerprint: internedHex(fp[:]),
 		Subject:         cert.Subject,
 		Issuer:          cert.Issuer,
 		SelfSigned:      cert.SelfSigned,
-		KeyID:           cert.Key.Hex(),
+		KeyID:           internedHex(cert.Key[:]),
 		NotBefore:       cert.NotBefore,
 		NotAfter:        cert.NotAfter,
 	}
@@ -204,8 +254,8 @@ func (m *HTTPModule) Scan(ctx context.Context, env *Env, target netip.Addr) *Res
 	res.Status = StatusSuccess
 	res.HTTP = &HTTPGrab{
 		StatusCode: resp.StatusCode,
-		Title:      resp.Title(),
-		Server:     resp.Header["Server"],
+		Title:      interned(resp.Title()),
+		Server:     interned(resp.Header["Server"]),
 	}
 	return res
 }
@@ -237,13 +287,14 @@ func (m *SSHModule) Scan(ctx context.Context, env *Env, target netip.Addr) *Resu
 	}
 	res.Status = StatusSuccess
 	res.SSH = &SSHGrab{
-		ServerID: grab.ID.Raw,
-		Software: grab.ID.Software,
-		OS:       grab.ID.OS(),
+		ServerID: interned(grab.ID.Raw),
+		Software: interned(grab.ID.Software),
+		OS:       interned(grab.ID.OS()),
 	}
 	if grab.HostKey != nil {
-		res.SSH.KeyType = grab.HostKey.Type
-		res.SSH.KeyFingerprint = grab.HostKey.FingerprintHex()
+		res.SSH.KeyType = interned(grab.HostKey.Type)
+		fp := grab.HostKey.Fingerprint()
+		res.SSH.KeyFingerprint = internedHex(fp[:])
 	}
 	return res
 }
@@ -374,13 +425,19 @@ func (m *CoAPModule) Port() uint16 { return coapx.Port }
 func (m *CoAPModule) Scan(ctx context.Context, env *Env, target netip.Addr) *Result {
 	port := env.portFor(m)
 	res := &Result{IP: target, Module: m.Name(), Port: port, Time: env.now()}
-	sock, err := env.Net.ListenUDP(netip.AddrPortFrom(env.Source, 0))
-	if err != nil {
-		res.Status = StatusIOError
-		res.Error = err.Error()
-		return res
+	var sock coapx.PacketSocket
+	if v := env.udpSocks.Get(); v != nil {
+		sock = v.(coapx.PacketSocket)
+	} else {
+		s, err := env.Net.ListenUDP(netip.AddrPortFrom(env.Source, 0))
+		if err != nil {
+			res.Status = StatusIOError
+			res.Error = err.Error()
+			return res
+		}
+		sock = s
 	}
-	defer sock.Close()
+	defer env.udpSocks.Put(sock)
 	// The message ID varies per retry attempt so a retransmission is a
 	// fresh datagram to the fabric's flow-hashed loss process.
 	mid := msgIDFor(target) + uint16(netsim.AttemptFrom(ctx))*0x9d7

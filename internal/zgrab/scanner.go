@@ -293,6 +293,17 @@ type target struct {
 // paying it per address.
 const submitChunk = 64
 
+// chunkPool recycles submit chunks between the feed and the workers:
+// a worker returns its batch's backing array once the last target in
+// it has been scanned, so steady-state feeding allocates no chunks at
+// all. Pooling is invisible to results — a chunk is just transport.
+var chunkPool = sync.Pool{
+	New: func() any {
+		s := make([]target, 0, submitChunk)
+		return &s
+	},
+}
+
 // Scanner is the zgrab2-style runtime: submit addresses, modules fan
 // out, results stream to OnResult.
 type Scanner struct {
@@ -301,7 +312,7 @@ type Scanner struct {
 	revisit *Revisit
 	breaker *Breaker // nil unless Config.Breaker is set
 
-	queue   chan []target
+	queue   chan *[]target
 	wg      sync.WaitGroup
 	started bool
 
@@ -351,15 +362,16 @@ func NewScanner(cfg Config) *Scanner {
 	if cfg.RevisitAfter <= 0 {
 		cfg.RevisitAfter = 72 * time.Hour
 	}
+	_, logical := cfg.Clock.(logicalClock)
 	s := &Scanner{
 		cfg: cfg,
 		env: &Env{
 			Net: cfg.Net, Source: cfg.Source, Clock: cfg.Clock,
 			Timeout: cfg.Timeout, UDPTimeout: cfg.UDPTimeout,
-			PortOverrides: cfg.PortOverrides,
+			PortOverrides: cfg.PortOverrides, Logical: logical,
 		},
 		revisit: NewRevisit(cfg.RevisitAfter),
-		queue:   make(chan []target, 4096),
+		queue:   make(chan *[]target, 4096),
 	}
 	if cfg.Breaker != nil {
 		s.breaker = NewBreaker(*cfg.Breaker)
@@ -386,26 +398,32 @@ func (s *Scanner) Start(ctx context.Context) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for batch := range s.queue {
+			for bp := range s.queue {
+				batch := *bp
 				for _, t := range batch {
 					s.scanOne(ctx, worker, t)
 				}
-				s.finish(len(batch))
+				n := len(batch)
+				*bp = batch[:0]
+				chunkPool.Put(bp)
+				s.finish(n)
 			}
 		}()
 	}
 }
 
 // enqueue numbers and queues a pre-filtered batch. Callers hold
-// closeMu.RLock and have checked closed.
-func (s *Scanner) enqueue(batch []target) {
+// closeMu.RLock and have checked closed. Ownership of the chunk passes
+// to the worker, which returns it to chunkPool.
+func (s *Scanner) enqueue(bp *[]target) {
+	batch := *bp
 	for i := range batch {
 		batch[i].seq = s.nextSeq.Add(1) - 1
 	}
 	s.pendingMu.Lock()
 	s.pending += len(batch)
 	s.pendingMu.Unlock()
-	s.queue <- batch
+	s.queue <- bp
 }
 
 func (s *Scanner) finish(n int) {
@@ -432,7 +450,9 @@ func (s *Scanner) Submit(addr netip.Addr) bool {
 		s.suppressed.Add(1)
 		return false
 	}
-	s.enqueue([]target{{addr: addr}})
+	bp := chunkPool.Get().(*[]target)
+	*bp = append((*bp)[:0], target{addr: addr})
+	s.enqueue(bp)
 	return true
 }
 
@@ -450,21 +470,25 @@ func (s *Scanner) SubmitBatch(addrs []netip.Addr) int {
 	s.submitted.Add(int64(len(addrs)))
 	accepted := 0
 	now := s.cfg.Clock.Now()
-	chunk := make([]target, 0, submitChunk)
+	bp := chunkPool.Get().(*[]target)
+	*bp = (*bp)[:0]
 	for _, addr := range addrs {
 		if !s.revisit.Allow(addr, now) {
 			s.suppressed.Add(1)
 			continue
 		}
 		accepted++
-		chunk = append(chunk, target{addr: addr})
-		if len(chunk) == submitChunk {
-			s.enqueue(chunk)
-			chunk = make([]target, 0, submitChunk)
+		*bp = append(*bp, target{addr: addr})
+		if len(*bp) == submitChunk {
+			s.enqueue(bp)
+			bp = chunkPool.Get().(*[]target)
+			*bp = (*bp)[:0]
 		}
 	}
-	if len(chunk) > 0 {
-		s.enqueue(chunk)
+	if len(*bp) > 0 {
+		s.enqueue(bp)
+	} else {
+		chunkPool.Put(bp)
 	}
 	return accepted
 }
