@@ -1,6 +1,8 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench bench-compare profiles chaos
+.PHONY: all check vet build test race bench bench-compare profiles chaos \
+	fuzz-smoke cover cover-gate
 
 all: check
 
@@ -23,11 +25,52 @@ race:
 
 # chaos runs the fault-injection suite under the race detector across a
 # fixed seed matrix: the netsim fault engine, the zgrab retry/breaker
-# machinery, campaign checkpoint/resume, and the end-to-end chaos
-# campaigns in internal/chaos. NTPSCAN_CHAOS_SEEDS overrides the seeds.
+# machinery, campaign checkpoint/resume, the end-to-end chaos campaigns
+# in internal/chaos, and the metric conservation invariants in
+# internal/obs. NTPSCAN_CHAOS_SEEDS overrides the seeds.
 chaos:
 	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
-		$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/zgrab/ ./internal/core/
+		$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/zgrab/ ./internal/core/ ./internal/obs/
+
+# fuzz-smoke runs every fuzz target for a short burst (FUZZTIME each,
+# default 10s) on top of its committed seed corpus under testdata/fuzz.
+# This is the CI tier of fuzzing — long exploratory runs stay manual:
+#   go test -fuzz '^FuzzDecode$' -fuzztime 10m ./internal/ntp/
+FUZZ_TARGETS := \
+	./internal/ntp:FuzzDecode \
+	./internal/tlsx:FuzzUnmarshalCert \
+	./internal/proto/sshx:FuzzParseServerID \
+	./internal/proto/coapx:FuzzParse \
+	./internal/proto/coapx:FuzzParseLinkFormat \
+	./internal/proto/amqpx:FuzzReadFrame \
+	./internal/proto/httpx:FuzzReadResponse \
+	./internal/proto/httpx:FuzzExtractTitle \
+	./internal/proto/mqttx:FuzzReadPacket \
+	./internal/proto/mqttx:FuzzDecodeConnect
+
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "== fuzz $$pkg $$fn"; \
+		$(GO) test -run NONE -fuzz "^$$fn\$$" -fuzztime $(FUZZTIME) $$pkg; \
+	done
+
+# cover writes the library coverage profile (cmd/ mains are glue over
+# the internal packages and are deliberately excluded from the gate).
+cover:
+	$(GO) test -coverprofile coverage.out ./internal/... .
+	@$(GO) tool cover -func coverage.out | tail -1
+
+# cover-gate fails if total statement coverage drops more than 0.5
+# points below the committed COVERAGE_baseline.txt. Raise the baseline
+# when a PR genuinely lifts coverage:
+#   make cover && go tool cover -func coverage.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}' > COVERAGE_baseline.txt
+cover-gate: cover
+	@total=$$($(GO) tool cover -func coverage.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	base=$$(cat COVERAGE_baseline.txt); \
+	echo "coverage: $$total% (baseline $$base%)"; \
+	awk -v t="$$total" -v b="$$base" 'BEGIN { exit !(t >= b - 0.5) }' || \
+		{ echo "cover-gate: coverage $$total% fell below baseline $$base% - 0.5"; exit 1; }
 
 # bench runs the pipeline benchmarks and records them, with host
 # metadata, in BENCH_pipeline.json. NTPSCAN_SCALE multiplies the bench

@@ -7,6 +7,12 @@ go build ./...
 go test -race ./...
 # Fault-injection suite over the fixed seed matrix (see `make chaos`).
 make chaos
+# Fuzz smoke: every fuzz target for a short burst on its seed corpus.
+# NTPSCAN_FUZZTIME overrides the per-target budget.
+make fuzz-smoke FUZZTIME="${NTPSCAN_FUZZTIME:-10s}"
+# Coverage gate: library statement coverage must not drop below the
+# committed baseline (COVERAGE_baseline.txt) minus 0.5 points.
+make cover-gate
 # Optional bench regression gate against the committed BENCH baseline.
 # The timed run is plain `go test -bench` — deliberately NOT -race,
 # whose overhead would swamp every threshold. Opt in with

@@ -31,6 +31,7 @@ func main() {
 		collectOnly = flag.Bool("collect-only", false, "collection tables only (fast)")
 		ablations   = flag.Bool("ablations", false, "also run the ablation experiments")
 		out         = flag.String("out", "", "write output to file instead of stdout")
+		metricsOut  = flag.String("metrics", "", "write the campaign's Prometheus-format metrics to FILE at exit")
 	)
 	profCfg := prof.Flags(nil)
 	flag.Parse()
@@ -75,6 +76,20 @@ func main() {
 		b.WriteString(experiments.ExtensionGeneratedVsLive(suite))
 	}
 
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = suite.P.Obs.WritePrometheus(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "wrote metrics to", *metricsOut)
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 	}

@@ -32,6 +32,7 @@ import (
 	"ntpscan/internal/core"
 	"ntpscan/internal/hitlist"
 	"ntpscan/internal/netsim"
+	"ntpscan/internal/obs"
 	"ntpscan/internal/prof"
 	"ntpscan/internal/world"
 	"ntpscan/internal/zgrab"
@@ -50,6 +51,7 @@ func main() {
 		modules     = flag.String("modules", "", "comma-separated module subset (default: all)")
 		real        = flag.Bool("real", false, "scan real networks with kernel sockets instead of the simulation")
 		ports       = flag.String("ports", "", "port overrides, e.g. http=8080,ssh=2222")
+		metricsOut  = flag.String("metrics", "", "write Prometheus-format metrics to FILE at exit")
 	)
 	profCfg := prof.Flags(nil)
 	flag.Parse()
@@ -81,6 +83,11 @@ func main() {
 		timeout = 3 * time.Second
 	}
 
+	// One registry for the whole process: in simulation it is the
+	// pipeline's (so collection metrics land in the same exposition),
+	// for -real scans a standalone one.
+	reg := obs.NewRegistry()
+
 	var p *core.Pipeline
 	if !*real {
 		p = core.NewPipeline(core.Config{
@@ -100,6 +107,7 @@ func main() {
 		p.W.RegisterAllAt(p.W.Cfg.Start.Add(world.CollectionWindow))
 		fabric = p.W.Fabric()
 		timeout = p.Cfg.Timeout
+		reg = p.Obs
 	}
 
 	var list []netip.Addr
@@ -137,6 +145,7 @@ func main() {
 		Fabric:        fabric,
 		Net:           transport,
 		Source:        core.ScanSource,
+		Obs:           reg,
 		Workers:       *workers,
 		Timeout:       timeout,
 		Modules:       mods,
@@ -150,10 +159,28 @@ func main() {
 	}
 	scanner.Close()
 	bw.Flush()
+	if *metricsOut != "" {
+		if err := writeMetrics(reg, *metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "v6scan:", err)
+			os.Exit(1)
+		}
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "v6scan:", err)
 	}
 	fmt.Fprintf(os.Stderr, "v6scan: wrote %d results\n", jw.Count())
+}
+
+func writeMetrics(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parsePorts(spec string) (map[string]uint16, error) {

@@ -7,57 +7,22 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/netip"
-	"os"
-	"strings"
 	"testing"
 
 	"ntpscan/internal/analysis"
 	"ntpscan/internal/core"
-	"ntpscan/internal/world"
 	"ntpscan/internal/zgrab"
 )
 
-// chaosSeeds returns the seed matrix: NTPSCAN_CHAOS_SEEDS (space-
-// separated) when set — `make chaos` sets it — else a single default.
-func chaosSeeds(t *testing.T) []uint64 {
-	env := os.Getenv("NTPSCAN_CHAOS_SEEDS")
-	if env == "" {
-		return []uint64{11}
-	}
-	var seeds []uint64
-	for _, f := range strings.Fields(env) {
-		var s uint64
-		if _, err := fmt.Sscanf(f, "%d", &s); err != nil {
-			t.Fatalf("bad seed %q in NTPSCAN_CHAOS_SEEDS: %v", f, err)
-		}
-		seeds = append(seeds, s)
-	}
-	return seeds
-}
+// The scenario matrix lives in hooks.go (exported, shared with the
+// observability invariant suite); these aliases keep the tests terse.
 
-func chaosConfig(seed uint64) core.Config {
-	return core.Config{
-		Seed: seed,
-		World: world.Config{
-			DeviceScale: 1e-3,
-			AddrScale:   1e-6,
-			ASScale:     0.02,
-		},
-		Workers:       8,
-		CaptureBudget: 2500,
-		Retry:         zgrab.DefaultRetryPolicy(),
-		Breaker:       &zgrab.BreakerConfig{},
-	}
-}
+func chaosSeeds(t *testing.T) []uint64 { return Seeds() }
 
-// faultedPipeline builds a pipeline and installs the plan derived for
-// (seed, spec). The plan is a pure function of the arguments, so a
-// second call builds a bit-identical setup — the property resume
-// relies on.
+func chaosConfig(seed uint64) core.Config { return Config(seed) }
+
 func faultedPipeline(cfg core.Config, planSeed uint64, spec Spec) *core.Pipeline {
-	p := core.NewPipeline(cfg)
-	p.InstallFaults(PlanFor(p, planSeed, spec))
-	return p
+	return FaultedPipeline(cfg, planSeed, spec)
 }
 
 func digest(t *testing.T, d *analysis.Dataset) uint64 {

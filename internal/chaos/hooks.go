@@ -1,0 +1,64 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ntpscan/internal/core"
+	"ntpscan/internal/world"
+	"ntpscan/internal/zgrab"
+)
+
+// Test hooks: the chaos scenario matrix as exported helpers, so other
+// packages' test suites (the observability invariant tests in
+// internal/obs) run the exact same campaigns the chaos suite does —
+// one scenario definition, many oracles.
+
+// Seeds returns the chaos seed matrix: NTPSCAN_CHAOS_SEEDS
+// (space-separated, set by `make chaos`) when present, else a single
+// default seed. A malformed entry panics — a misconfigured matrix must
+// not silently shrink coverage.
+func Seeds() []uint64 {
+	env := os.Getenv("NTPSCAN_CHAOS_SEEDS")
+	if env == "" {
+		return []uint64{11}
+	}
+	var seeds []uint64
+	for _, f := range strings.Fields(env) {
+		s, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			panic(fmt.Sprintf("chaos: bad seed %q in NTPSCAN_CHAOS_SEEDS: %v", f, err))
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// Config is the canonical chaos-scale pipeline configuration for a
+// seed: small world scales, retries and the circuit breaker on.
+func Config(seed uint64) core.Config {
+	return core.Config{
+		Seed: seed,
+		World: world.Config{
+			DeviceScale: 1e-3,
+			AddrScale:   1e-6,
+			ASScale:     0.02,
+		},
+		Workers:       8,
+		CaptureBudget: 2500,
+		Retry:         zgrab.DefaultRetryPolicy(),
+		Breaker:       &zgrab.BreakerConfig{},
+	}
+}
+
+// FaultedPipeline builds a pipeline and installs the plan derived for
+// (planSeed, spec). The plan is a pure function of the arguments, so a
+// second call builds a bit-identical setup — the property resume (and
+// every cross-run comparison) relies on.
+func FaultedPipeline(cfg core.Config, planSeed uint64, spec Spec) *core.Pipeline {
+	p := core.NewPipeline(cfg)
+	p.InstallFaults(PlanFor(p, planSeed, spec))
+	return p
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"ntpscan/internal/analysis"
+	"ntpscan/internal/obs"
 	"ntpscan/internal/zgrab"
 )
 
@@ -61,6 +62,9 @@ type Checkpoint struct {
 	CapLog       []CapRecord     `json:"cap_log,omitempty"`
 	Scan         zgrab.ScanState `json:"scan"`
 	PoolScores   PoolScoreMap    `json:"pool_scores,omitempty"`
+	// Obs carries the metrics registry's raw values, so a resumed run's
+	// telemetry stream continues the interrupted run's byte-for-byte.
+	Obs obs.Snapshot `json:"obs,omitempty"`
 	// OutOffset is how many bytes of JSONL output the run had written;
 	// a resumed run's writer continues exactly here.
 	OutOffset int64 `json:"out_offset"`
@@ -111,6 +115,12 @@ type CampaignOpts struct {
 	// OnCheckpoint receives each checkpoint. The pointer and everything
 	// it references belong to the callee.
 	OnCheckpoint func(*Checkpoint)
+	// Telemetry, when non-nil, receives one JSONL line per slice with
+	// the full metrics registry state, written at the drain barrier.
+	// The stream is deterministic: byte-identical across worker counts,
+	// and a resumed campaign emits exactly the lines the uninterrupted
+	// run would have from its resume slice onward.
+	Telemetry io.Writer
 }
 
 // countingWriter tracks the output byte offset for checkpoints.
@@ -240,6 +250,11 @@ func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts Cam
 	}
 	scanner.Start(ctx)
 
+	var tw *obs.TelemetryWriter
+	if opts.Telemetry != nil {
+		tw = obs.NewTelemetryWriter(p.Obs, opts.Telemetry)
+	}
+
 	var werr error
 	p.collectFrom(startSlice, func(batch []netip.Addr) {
 		scanner.SubmitBatch(batch)
@@ -247,8 +262,18 @@ func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts Cam
 		if err := sink.flush(); err != nil && werr == nil {
 			werr = err
 		}
+		// Telemetry before checkpointing: the line reflects the slice's
+		// quiescent state, and the checkpoint counter below must tick
+		// after it so full and resumed runs agree on every line.
+		p.met.outBytes.Set(sink.offset())
+		if tw != nil {
+			if err := tw.WriteSlice(next-1, p.W.Clock().Now()); err != nil && werr == nil {
+				werr = err
+			}
+		}
 		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil &&
 			next < collectSlices && next%opts.CheckpointEvery == 0 {
+			p.met.checkpoints.Inc()
 			opts.OnCheckpoint(p.checkpoint(next, shards, scanner, sink.offset()))
 		}
 	})
@@ -273,6 +298,7 @@ func (p *Pipeline) checkpoint(next int, shards []*collectShard, scanner *zgrab.S
 		CapLog:        append([]CapRecord(nil), p.capLog...),
 		Scan:          scanner.Snapshot(),
 		PoolScores:    make(PoolScoreMap, len(p.Servers)),
+		Obs:           p.Obs.Snapshot(),
 		OutOffset:     outOffset,
 	}
 	for i, sh := range shards {
@@ -337,5 +363,11 @@ func (p *Pipeline) restore(cp *Checkpoint) error {
 			p.respCaptured[i] = true
 		}
 	}
+	// Metrics last: the capture-log replay above re-ran instrumented
+	// paths, and the checkpointed values are authoritative — Restore
+	// overwrites whatever the replay accumulated. Scanner metrics are
+	// not registered yet (the scanner is built in runCampaignFrom);
+	// their values stay pending in the registry and apply then.
+	p.Obs.Restore(cp.Obs)
 	return nil
 }

@@ -82,6 +82,10 @@ func (p *Pipeline) makeCollectShards() []*collectShard {
 			vi := vs.idx
 			sh.ntp[vi] = ntp.NewServer(ntp.ServerConfig{
 				Now: p.W.Clock().Now,
+				// Shard clones account into the same books as the
+				// fabric-registered vantage servers: totals read per
+				// fleet, whichever path served the request.
+				Metrics: p.met.ntp,
 				Capture: func(client netip.AddrPort, at time.Time) {
 					p.recordCaptureShard(sh, client.Addr(), vi, at)
 				},
@@ -198,6 +202,7 @@ func (p *Pipeline) collectFrom(startSlice int, batch func([]netip.Addr), drain f
 	// clock is frozen: shards run in parallel, their feeds are merged
 	// in shard order, and drain completes the slice's scans before the
 	// next Set.
+	lastCaptures := p.captures.Load()
 	for s := startSlice; s < collectSlices; s++ {
 		if st := p.sliceTime(s); st.After(clock.Now()) {
 			clock.Set(st)
@@ -225,6 +230,13 @@ func (p *Pipeline) collectFrom(startSlice int, batch func([]netip.Addr), drain f
 		if drain != nil {
 			drain()
 		}
+		// Slice accounting at the quiescent point, before onSlice runs:
+		// telemetry lines and checkpoints taken there must already see
+		// this slice's totals.
+		p.met.slices.Inc()
+		cur := p.captures.Load()
+		p.met.sliceCaps.Observe(cur - lastCaptures)
+		lastCaptures = cur
 		if onSlice != nil {
 			onSlice(s+1, shards)
 		}

@@ -30,6 +30,7 @@ import (
 	"ntpscan/internal/netsim"
 	"ntpscan/internal/ntp"
 	"ntpscan/internal/ntppool"
+	"ntpscan/internal/obs"
 	"ntpscan/internal/rng"
 	"ntpscan/internal/world"
 	"ntpscan/internal/zgrab"
@@ -152,6 +153,12 @@ type Pipeline struct {
 	// below MinScore, its capture stream pauses, and the zone's traffic
 	// re-maps to the remaining weights until it recovers.
 	Monitor *ntppool.Monitor
+	// Obs is the pipeline's metrics registry: every subsystem the
+	// pipeline assembles (collection, scanner, pool monitor, NTP
+	// servers, fabric faults) registers here, campaign checkpoints
+	// snapshot it, and the campaign's telemetry stream serialises it
+	// once per slice.
+	Obs *obs.Registry
 
 	Servers []*VantageServer
 
@@ -208,6 +215,9 @@ type Pipeline struct {
 	// restoreCp, when set, seeds makeCollectShards with checkpointed
 	// stream positions instead of fresh derivations.
 	restoreCp *Checkpoint
+
+	// met holds the pipeline's metric handles (see obsmetrics.go).
+	met *pipelineMetrics
 }
 
 // NewPipeline builds the world and deploys the vantage servers.
@@ -230,8 +240,12 @@ func NewPipeline(cfg Config) *Pipeline {
 	p.EUI = analysis.NewEUI64Stats(p.Ctx)
 	p.sumShards = analysis.NewShardedAddrSummary(p.Ctx)
 	p.euiShards = analysis.NewShardedEUI64Stats(p.Ctx)
+	p.Obs = obs.NewRegistry()
+	p.met = newPipelineMetrics(p.Obs)
 	p.Monitor = ntppool.NewMonitor(p.Pool)
+	p.Monitor.SetMetrics(p.met.pool)
 	p.deployServers()
+	w.Fabric().SetFaultMetrics(netsim.NewFaultMetrics(p.Obs))
 	if cfg.Faults != nil {
 		w.Fabric().InstallFaults(cfg.Faults)
 	}
@@ -261,7 +275,8 @@ func (p *Pipeline) deployServers() {
 		addr := ipv6x.FromParts(0x2a10_0000_0000_0000|uint64(c.Index)<<32, 0x123)
 		vs := &VantageServer{ID: "ours-" + country, Country: country, Addr: addr, idx: len(p.Servers)}
 		srv := ntp.NewServer(ntp.ServerConfig{
-			Now: p.W.Clock().Now,
+			Now:     p.W.Clock().Now,
+			Metrics: p.met.ntp,
 			Capture: func(client netip.AddrPort, at time.Time) {
 				p.recordCapture(client.Addr(), vs.idx, at)
 			},
@@ -280,6 +295,11 @@ func (p *Pipeline) deployServers() {
 	p.Pool.SetGlobalBackground(5000)
 	p.perCountryN = make([]atomic.Int64, len(p.Servers))
 	p.PerCountry = make(map[string]int, len(p.Servers))
+	codes := make([]string, len(p.Servers))
+	for i, vs := range p.Servers {
+		codes[i] = vs.Country
+	}
+	p.met.registerVantage(p.Obs, codes)
 }
 
 // tuneNetspeed raises the server's weight step by step until its zone
@@ -320,11 +340,14 @@ func (p *Pipeline) recordCapture(addr netip.Addr, vantage int, at time.Time) {
 // (immutable) server record only where needed.
 func (p *Pipeline) recordCaptureShard(sh *collectShard, addr netip.Addr, vantage int, at time.Time) {
 	p.captures.Add(1)
+	p.met.captures.Inc()
 	if sh != nil && sh.volumeStats {
 		country := p.Servers[vantage].Country
+		p.met.capEvents.Inc(vantage)
 		p.euiShards.Add(addr, country)
 		if p.sumShards.Add(addr) {
 			p.perCountryN[vantage].Add(1)
+			p.met.capDistinct.Inc(vantage)
 			if p.recordCaps {
 				// First sighting: log it so a resume can replay the
 				// accumulator state. Only fresh addresses are logged —
@@ -355,6 +378,7 @@ func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.
 		// completes, on either capture path. (The port draw above still
 		// happened, keeping the shard's stream schedule independent of
 		// the plan's timing.)
+		p.met.capDropped.Inc(vs.idx)
 		return fmt.Errorf("core: vantage %s is down", vs.ID)
 	}
 	if p.Cfg.FullPacketNTP {
@@ -365,6 +389,9 @@ func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.
 			netip.AddrPortFrom(client, port),
 			netip.AddrPortFrom(vs.Addr, ntp.Port),
 			p.W.Clock().Now, 10*time.Millisecond)
+		if err != nil {
+			p.met.capDropped.Inc(vs.idx)
+		}
 		return err
 	}
 	req := ntp.ClientPacket(now)
@@ -372,6 +399,7 @@ func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.
 	resp, ok := sh.ntp[vs.idx].RespondAppend(netip.AddrPortFrom(client, port), sh.reqBuf, sh.respBuf[:0])
 	sh.respBuf = resp
 	if !ok {
+		p.met.capDropped.Inc(vs.idx)
 		return fmt.Errorf("core: vantage %s dropped request", vs.ID)
 	}
 	return nil

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"ntpscan/internal/ntp"
+	"ntpscan/internal/ntppool"
+	"ntpscan/internal/obs"
+)
+
+// pipelineMetrics bundles the pipeline's observability handles. Scalar
+// families register at construction; the per-vantage vectors register
+// in deployServers once the vantage set (and so the label space) is
+// known. Per-vantage vectors are indexed by VantageServer.idx — the
+// same dense index the accumulator slices use, so the capture fast
+// path pays one atomic add per series and never hashes.
+//
+// Conservation laws checked by the invariant suite:
+//
+//	campaign_captures_total  == scan_submitted_total (campaign feed)
+//	capture_distinct_total_i == PerCountry[vantage i]
+//	ntp_answered_total       == campaign_captures_total (codec path)
+type pipelineMetrics struct {
+	captures    *obs.Counter   // capture events, both channels
+	slices      *obs.Counter   // collection slices completed
+	sliceCaps   *obs.Histogram // capture events per slice
+	checkpoints *obs.Counter   // checkpoints taken
+	outBytes    *obs.Gauge     // JSONL output offset
+
+	capEvents   *obs.CounterVec // volume-channel events per vantage
+	capDistinct *obs.CounterVec // first-seen addresses per vantage
+	capDropped  *obs.CounterVec // capture attempts lost per vantage
+
+	ntp  *ntp.ServerMetrics
+	pool *ntppool.MonitorMetrics
+}
+
+func newPipelineMetrics(r *obs.Registry) *pipelineMetrics {
+	return &pipelineMetrics{
+		captures: r.NewCounter("campaign_captures_total", "capture events recorded, both channels"),
+		slices:   r.NewCounter("campaign_slices_total", "collection slices completed"),
+		sliceCaps: r.NewHistogram("campaign_slice_captures", "capture events per collection slice",
+			[]int64{10, 100, 1000, 10000, 100000, 1000000}),
+		checkpoints: r.NewCounter("campaign_checkpoints_total", "checkpoints taken"),
+		outBytes:    r.NewGauge("campaign_out_bytes", "bytes of JSONL scan output written"),
+		ntp:         ntp.NewServerMetrics(r),
+		pool:        ntppool.NewMonitorMetrics(r),
+	}
+}
+
+// registerVantage registers the per-vantage families once the vantage
+// set is deployed. codes holds one country code per VantageServer in
+// idx order (the vector's index space).
+func (m *pipelineMetrics) registerVantage(r *obs.Registry, codes []string) {
+	if len(codes) == 0 {
+		return // no vantage servers: nothing can capture
+	}
+	m.capEvents = r.NewCounterVec("capture_events_total",
+		"volume-channel capture events per vantage", "vantage", codes)
+	m.capDistinct = r.NewCounterVec("capture_distinct_total",
+		"first-seen addresses per vantage (volume channel)", "vantage", codes)
+	m.capDropped = r.NewCounterVec("capture_dropped_total",
+		"capture attempts lost to outages or drops per vantage", "vantage", codes)
+}

@@ -58,6 +58,7 @@ func (p *Pipeline) newScanner(add func(worker int, r *zgrab.Result)) *zgrab.Scan
 		Fabric:         p.W.Fabric(),
 		Clock:          p.W.Clock(),
 		Source:         ScanSource,
+		Obs:            p.Obs,
 		Timeout:        p.Cfg.Timeout,
 		UDPTimeout:     p.Cfg.UDPTimeout,
 		Workers:        p.Cfg.Workers,

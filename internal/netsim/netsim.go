@@ -122,6 +122,9 @@ type Network struct {
 
 	dials   atomic.Int64 // TCP dial attempts
 	packets atomic.Int64 // UDP datagrams sent
+
+	// fm, when set, counts fault-plan interventions (see obsmetrics.go).
+	fm atomic.Pointer[FaultMetrics]
 }
 
 type snifferEntry struct {
@@ -267,6 +270,9 @@ func (n *Network) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPor
 		eff = plan.effectsOn(dst.Addr(), now)
 		if eff.down || eff.latency > n.cfg.DialTimeout ||
 			dropTCP(plan.Seed, src, dst, now, attempt, eff.loss) {
+			if m := n.faultMetrics(); m != nil {
+				m.DialBlackholes.Inc()
+			}
 			return n.blackholeDial(ctx)
 		}
 	}
@@ -286,6 +292,9 @@ func (n *Network) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPor
 			go handler(server)
 			if eff.garble {
 				plan := n.plan()
+				if m := n.faultMetrics(); m != nil {
+					m.Garbles.Inc()
+				}
 				return &garbledConn{
 					Conn:   client,
 					remain: garbleCut(plan.Seed, dst, now, attempt),
@@ -341,16 +350,19 @@ func ephemeralPort(src netip.Addr, dst netip.AddrPort) uint16 {
 // ephemeral ports are excluded from the hash — bind order under
 // concurrency is not deterministic — so both directions hash the
 // server-side port.
-func (n *Network) dropDatagram(dir byte, from, to netip.Addr, serverPort uint16, payload []byte, burstLoss float64, at time.Time) bool {
+// byFault distinguishes plan-injected burst loss from the fabric's
+// uniform background loss, so fault accounting counts only the former.
+func (n *Network) dropDatagram(dir byte, from, to netip.Addr, serverPort uint16, payload []byte, burstLoss float64, at time.Time) (drop, byFault bool) {
 	if n.cfg.LossProb > 0 &&
 		dropUDP(n.cfg.Seed, dir, from, to, serverPort, payload, at, n.cfg.LossProb) {
-		return true
+		return true, false
 	}
 	if burstLoss > 0 {
 		plan := n.plan()
-		return dropUDP(plan.Seed, dir|0x80, from, to, serverPort, payload, at, burstLoss)
+		d := dropUDP(plan.Seed, dir|0x80, from, to, serverPort, payload, at, burstLoss)
+		return d, d
 	}
-	return false
+	return false, false
 }
 
 // SendUDP delivers one datagram from src to dst, outside any bound
@@ -372,10 +384,18 @@ func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte) {
 	if plan := n.plan(); plan != nil {
 		eff = plan.effectsOn(dst.Addr(), now)
 		if eff.down || eff.latency > n.cfg.DialTimeout {
+			if m := n.faultMetrics(); m != nil {
+				m.UDPDrops.Inc()
+			}
 			return
 		}
 	}
-	if n.dropDatagram('q', src.Addr(), dst.Addr(), dst.Port(), payload, eff.loss, now) {
+	if drop, byFault := n.dropDatagram('q', src.Addr(), dst.Addr(), dst.Port(), payload, eff.loss, now); drop {
+		if byFault {
+			if m := n.faultMetrics(); m != nil {
+				m.UDPDrops.Inc()
+			}
+		}
 		return
 	}
 
@@ -395,11 +415,19 @@ func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte) {
 		return
 	}
 	for _, resp := range handler(src, payload) {
-		if n.dropDatagram('r', dst.Addr(), src.Addr(), dst.Port(), resp, eff.loss, now) {
+		if drop, byFault := n.dropDatagram('r', dst.Addr(), src.Addr(), dst.Port(), resp, eff.loss, now); drop {
+			if byFault {
+				if m := n.faultMetrics(); m != nil {
+					m.UDPDrops.Inc()
+				}
+			}
 			continue
 		}
 		if eff.garble {
 			resp = garbleUDP(resp)
+			if m := n.faultMetrics(); m != nil {
+				m.Garbles.Inc()
+			}
 		}
 		n.mu.RLock()
 		back, ok := n.udpBinds[src]

@@ -6,7 +6,30 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ntpscan/internal/obs"
 )
+
+// ServerMetrics is a shared bundle of request counters. Several Server
+// instances may carry the same bundle — the collection pipeline clones
+// one vantage server per shard, and all clones account into the same
+// books — so the totals read as per-vantage-fleet, not per-instance.
+// All updates are lone atomic adds: the capture fast path stays
+// zero-alloc with metrics enabled.
+type ServerMetrics struct {
+	Requests    *obs.Counter // datagrams that reached an NTP server
+	Answered    *obs.Counter // requests answered with time
+	RateLimited *obs.Counter // requests answered with a kiss-of-death
+}
+
+// NewServerMetrics registers the NTP server families on r.
+func NewServerMetrics(r *obs.Registry) *ServerMetrics {
+	return &ServerMetrics{
+		Requests:    r.NewCounter("ntp_requests_total", "datagrams that reached an NTP capture server"),
+		Answered:    r.NewCounter("ntp_answered_total", "NTP requests answered with time"),
+		RateLimited: r.NewCounter("ntp_rate_limited_total", "NTP requests answered with a kiss-of-death"),
+	}
+}
 
 // CaptureFunc receives the source address and arrival time of every valid
 // client request the server answers. This is the paper's core
@@ -30,6 +53,9 @@ type ServerConfig struct {
 	// (stratum 0, refid RATE) instead of time, as abusive clients do
 	// from real pool servers. Zero disables limiting.
 	MinInterval time.Duration
+	// Metrics, if non-nil, additionally accounts requests into a shared
+	// observability bundle (see ServerMetrics).
+	Metrics *ServerMetrics
 }
 
 // rateTableMax bounds the rate limiter's memory; beyond it the oldest
@@ -124,6 +150,9 @@ func (s *Server) Respond(client netip.AddrPort, payload []byte) []byte {
 // this once per capture event.
 func (s *Server) RespondAppend(client netip.AddrPort, payload, dst []byte) (out []byte, ok bool) {
 	s.requests.Add(1)
+	if m := s.cfg.Metrics; m != nil {
+		m.Requests.Inc()
+	}
 	var req Packet
 	if err := DecodeInto(&req, payload); err != nil {
 		return dst, false
@@ -137,6 +166,9 @@ func (s *Server) RespondAppend(client netip.AddrPort, payload, dst []byte) (out 
 	now := s.cfg.Now()
 	if s.overRate(client.Addr(), now) {
 		s.limited.Add(1)
+		if m := s.cfg.Metrics; m != nil {
+			m.RateLimited.Inc()
+		}
 		kod := kissOfDeath(&req, now)
 		return kod.AppendEncode(dst), true
 	}
@@ -154,6 +186,9 @@ func (s *Server) RespondAppend(client netip.AddrPort, payload, dst []byte) (out 
 		TransmitTime:  ToTime64(now),
 	}
 	s.answered.Add(1)
+	if m := s.cfg.Metrics; m != nil {
+		m.Answered.Inc()
+	}
 	if s.cfg.Capture != nil {
 		s.cfg.Capture(client, now)
 	}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// zeroClock is a zero-size Clock: interface conversion allocates
+// nothing, mirroring how the scanner passes netsim's clock around.
+type zeroClock struct{}
+
+func (zeroClock) Now() time.Time { return time.Unix(0, 0) }
+
+// The capture/scan fast paths increment metrics per event; the whole
+// point of dense preallocated storage is that those updates never
+// allocate. This pins it.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "c")
+	vec := r.NewCounterVec("v_total", "v", "k", []string{"a", "b", "c"})
+	g := r.NewGauge("g", "g")
+	h := r.NewHistogram("h_ms", "h", []int64{1, 10, 100, 1000})
+	clk := zeroClock{}
+
+	for name, fn := range map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Counter.Add":       func() { c.Add(3) },
+		"CounterVec.Inc":    func() { vec.Inc(1) },
+		"CounterVec.Add":    func() { vec.Add(2, 5) },
+		"Gauge.Set":         func() { g.Set(7) },
+		"Histogram.Observe": func() { h.Observe(42) },
+		"Timer":             func() { tm := StartTimer(h, clk); tm.Stop() },
+	} {
+		if n := testing.AllocsPerRun(1000, fn); n != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", name, n)
+		}
+	}
+}

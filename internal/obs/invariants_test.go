@@ -1,0 +1,248 @@
+package obs_test
+
+// The observability layer as a correctness oracle: after every chaos
+// scenario the metric books must balance. These tests run the same
+// campaigns as internal/chaos (via its exported hooks) and assert the
+// conservation laws documented in DESIGN.md "Observability", plus the
+// determinism contract: the per-slice telemetry stream is byte-
+// identical across worker counts and across a checkpoint resume.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"ntpscan/internal/chaos"
+	"ntpscan/internal/core"
+)
+
+func value(t *testing.T, p *core.Pipeline, key string) int64 {
+	t.Helper()
+	v, ok := p.Obs.Value(key)
+	if !ok {
+		t.Fatalf("metric series %q not registered", key)
+	}
+	return v
+}
+
+// runChaosCampaign runs the canonical faulted campaign for a seed and
+// returns the pipeline (post-publish) plus its telemetry stream.
+func runChaosCampaign(t *testing.T, seed uint64, workers int) (*core.Pipeline, *bytes.Buffer) {
+	t.Helper()
+	cfg := chaos.Config(seed)
+	cfg.Workers = workers
+	p := chaos.FaultedPipeline(cfg, seed+1, chaos.DefaultSpec())
+	var tel bytes.Buffer
+	if _, err := p.RunCampaign(context.Background(), core.CampaignOpts{Telemetry: &tel}); err != nil {
+		t.Fatal(err)
+	}
+	return p, &tel
+}
+
+func TestConservationInvariantsUnderChaos(t *testing.T) {
+	for _, seed := range chaos.Seeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			p, tel := runChaosCampaign(t, seed, 8)
+
+			// Target conservation: every submitted target is suppressed,
+			// shed, or completed — nothing in flight at quiescence,
+			// nothing lost, nothing double-counted.
+			submitted := value(t, p, "scan_submitted_total")
+			suppressed := value(t, p, "scan_suppressed_total")
+			shed := value(t, p, "scan_shed_total")
+			completed := value(t, p, "scan_completed_total")
+			if submitted == 0 {
+				t.Fatal("campaign submitted nothing")
+			}
+			if submitted != suppressed+shed+completed {
+				t.Errorf("scan conservation violated: submitted %d != suppressed %d + shed %d + completed %d",
+					submitted, suppressed, shed, completed)
+			}
+
+			// The campaign submits exactly the capture feed.
+			captures := value(t, p, "campaign_captures_total")
+			if submitted != captures {
+				t.Errorf("feed conservation violated: submitted %d != captures %d", submitted, captures)
+			}
+			if captures != int64(p.Captures) {
+				t.Errorf("captures metric %d != published Captures %d", captures, p.Captures)
+			}
+
+			// Every capture is one answered NTP request (the capture
+			// hook fires only on answered requests), and no answer goes
+			// missing between the server and the accumulator.
+			answered := value(t, p, "ntp_answered_total")
+			if answered != captures {
+				t.Errorf("ntp_answered_total %d != campaign_captures_total %d", answered, captures)
+			}
+			if requests := value(t, p, "ntp_requests_total"); requests < answered {
+				t.Errorf("ntp_requests_total %d < ntp_answered_total %d", requests, answered)
+			}
+
+			// Per-vantage first-seen counters mirror the published
+			// PerCountry table exactly.
+			for country, n := range p.PerCountry {
+				key := "capture_distinct_total{vantage=" + country + "}"
+				if got := value(t, p, key); got != int64(n) {
+					t.Errorf("%s = %d, want PerCountry %d", key, got, n)
+				}
+			}
+
+			// Breaker pairing: every open prefix was opened (or
+			// reopened) and not yet admitted to probation; once it is,
+			// the books re-balance. At quiescence the net equals the
+			// open-set gauge.
+			opened := value(t, p, "breaker_opened_total")
+			reopened := value(t, p, "breaker_reopened_total")
+			probation := value(t, p, "breaker_probation_total")
+			openGauge := value(t, p, "breaker_open")
+			if opened+reopened-probation != openGauge {
+				t.Errorf("breaker pairing violated: opened %d + reopened %d - probation %d != open %d",
+					opened, reopened, probation, openGauge)
+			}
+			if shed > 0 && opened == 0 {
+				t.Errorf("scanner shed %d targets but no breaker ever opened", shed)
+			}
+
+			// Pool health pairing: degradations not yet recovered are
+			// exactly the servers unhealthy at the end.
+			degraded := value(t, p, "pool_degraded_total")
+			recovered := value(t, p, "pool_recovered_total")
+			unhealthy := int64(0)
+			for _, vs := range p.Servers {
+				if !p.Pool.Healthy(vs.ID) {
+					unhealthy++
+				}
+			}
+			if degraded-recovered != unhealthy {
+				t.Errorf("pool pairing violated: degraded %d - recovered %d != unhealthy %d",
+					degraded, recovered, unhealthy)
+			}
+			// One health probe per vantage per slice.
+			if checks := value(t, p, "pool_checks_total"); checks != int64(96*len(p.Servers)) {
+				t.Errorf("pool_checks_total = %d, want %d", checks, 96*len(p.Servers))
+			}
+			if slices := value(t, p, "campaign_slices_total"); slices != 96 {
+				t.Errorf("campaign_slices_total = %d, want 96", slices)
+			}
+
+			// Fault bookkeeping (vantage outages surface as capture
+			// drops — the sync dies at the health check, before the
+			// fabric). Not every seed's plan intersects the sampled
+			// population at chaos scale, so zero activity is legal; the
+			// count is logged so a silent matrix is at least visible.
+			faultActivity := value(t, p, "fault_udp_drops_total") +
+				value(t, p, "fault_dial_blackholes_total") +
+				value(t, p, "fault_garbles_total")
+			for _, v := range p.Obs.Snapshot()["capture_dropped_total"] {
+				faultActivity += v
+			}
+			t.Logf("recorded fault interventions: %d", faultActivity)
+
+			// The telemetry stream is one valid JSON object per slice,
+			// with monotonically non-decreasing counters.
+			lines := bytes.Split(bytes.TrimSuffix(tel.Bytes(), []byte("\n")), []byte("\n"))
+			if len(lines) != 96 {
+				t.Fatalf("telemetry has %d lines, want 96", len(lines))
+			}
+			prev := int64(-1)
+			for i, ln := range lines {
+				var rec struct {
+					Slice   int              `json:"slice"`
+					Metrics map[string]int64 `json:"metrics"`
+				}
+				if err := json.Unmarshal(ln, &rec); err != nil {
+					t.Fatalf("telemetry line %d is not valid JSON: %v", i, err)
+				}
+				if rec.Slice != i {
+					t.Fatalf("telemetry line %d reports slice %d", i, rec.Slice)
+				}
+				if c := rec.Metrics["campaign_captures_total"]; c < prev {
+					t.Fatalf("captures counter went backwards at slice %d: %d < %d", i, c, prev)
+				} else {
+					prev = c
+				}
+			}
+		})
+	}
+}
+
+// The telemetry stream is part of the deterministic output surface:
+// Workers is pure concurrency, so the bytes must not move.
+func TestTelemetryIdenticalAcrossWorkers(t *testing.T) {
+	for _, seed := range chaos.Seeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, base := runChaosCampaign(t, seed, 1)
+			if base.Len() == 0 {
+				t.Fatal("no telemetry produced")
+			}
+			for _, workers := range []int{3, 8} {
+				_, tel := runChaosCampaign(t, seed, workers)
+				if !bytes.Equal(tel.Bytes(), base.Bytes()) {
+					t.Errorf("workers=%d telemetry diverges from workers=1 (%d vs %d bytes)",
+						workers, tel.Len(), base.Len())
+				}
+			}
+		})
+	}
+}
+
+// A resumed campaign's telemetry continues the interrupted run's
+// byte-for-byte: the checkpoint carries the registry snapshot, and the
+// resumed run (same opts, same cadence) emits exactly the lines the
+// uninterrupted run wrote from the resume slice onward.
+func TestTelemetryByteExactAcrossResume(t *testing.T) {
+	seed := chaos.Seeds()[0]
+	spec := chaos.DefaultSpec()
+
+	var fullTel, fullOut bytes.Buffer
+	var cps []*core.Checkpoint
+	opts := core.CampaignOpts{
+		Out:             &fullOut,
+		Telemetry:       &fullTel,
+		CheckpointEvery: 24,
+		OnCheckpoint:    func(cp *core.Checkpoint) { cps = append(cps, cp) },
+	}
+	p1 := chaos.FaultedPipeline(chaos.Config(seed), seed+1, spec)
+	if _, err := p1.RunCampaign(context.Background(), opts); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 2 {
+		t.Fatalf("expected >=2 checkpoints, got %d", len(cps))
+	}
+
+	// Round-trip through JSON like a real kill+resume.
+	blob, err := json.Marshal(cps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp core.Checkpoint
+	if err := json.Unmarshal(blob, &cp); err != nil {
+		t.Fatal(err)
+	}
+
+	var restTel, restOut bytes.Buffer
+	p2 := chaos.FaultedPipeline(chaos.Config(seed), seed+1, spec)
+	_, err = p2.ResumeCampaign(context.Background(), &cp, core.CampaignOpts{
+		Out:             &restOut,
+		Telemetry:       &restTel,
+		CheckpointEvery: 24,
+		OnCheckpoint:    func(*core.Checkpoint) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lines := bytes.SplitAfter(fullTel.Bytes(), []byte("\n"))
+	var want bytes.Buffer
+	for _, ln := range lines[cp.NextSlice:] {
+		want.Write(ln)
+	}
+	if !bytes.Equal(restTel.Bytes(), want.Bytes()) {
+		t.Fatalf("resumed telemetry diverges: %d bytes vs %d expected", restTel.Len(), want.Len())
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Metric families are emitted in name order and
+// series within a family in registration order, so the output is
+// byte-stable for a given state — the golden test diffs it verbatim.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+	sort.Slice(metrics, func(i, j int) bool { return metrics[i].name < metrics[j].name })
+
+	var buf []byte
+	for _, m := range metrics {
+		buf = buf[:0]
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, m.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, m.help...)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, m.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, m.kind.String()...)
+		buf = append(buf, '\n')
+		switch {
+		case m.kind == KindHistogram:
+			var cum int64
+			for i := range m.counts {
+				cum += m.counts[i].Load()
+				buf = append(buf, m.name...)
+				buf = append(buf, `_bucket{le="`...)
+				if i < len(m.bounds) {
+					buf = strconv.AppendInt(buf, m.bounds[i], 10)
+				} else {
+					buf = append(buf, "+Inf"...)
+				}
+				buf = append(buf, `"} `...)
+				buf = strconv.AppendInt(buf, cum, 10)
+				buf = append(buf, '\n')
+			}
+			buf = append(buf, m.name...)
+			buf = append(buf, "_sum "...)
+			buf = strconv.AppendInt(buf, m.sum.Load(), 10)
+			buf = append(buf, '\n')
+			buf = append(buf, m.name...)
+			buf = append(buf, "_count "...)
+			buf = strconv.AppendInt(buf, cum, 10)
+			buf = append(buf, '\n')
+		case len(m.labelVals) > 0:
+			for i, lv := range m.labelVals {
+				buf = append(buf, m.name...)
+				buf = append(buf, '{')
+				buf = append(buf, m.label...)
+				buf = append(buf, `="`...)
+				buf = append(buf, lv...)
+				buf = append(buf, `"} `...)
+				buf = strconv.AppendInt(buf, m.vals[i].Load(), 10)
+				buf = append(buf, '\n')
+			}
+		default:
+			buf = append(buf, m.name...)
+			buf = append(buf, ' ')
+			buf = strconv.AppendInt(buf, m.vals[0].Load(), 10)
+			buf = append(buf, '\n')
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

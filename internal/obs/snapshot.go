@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// Snapshot is the registry's state as plain data: metric name → raw
+// value array (scalar/vec values in registration order; histograms:
+// per-bucket counts then the sum). It marshals with sorted keys so
+// checkpoint bytes are a pure function of the state.
+type Snapshot map[string][]int64
+
+// MarshalJSON implements json.Marshaler with deterministic key order.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := make([]byte, 0, 32*len(keys))
+	buf = append(buf, '{')
+	for i, k := range keys {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := json.Marshal(s[k])
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, kb...)
+		buf = append(buf, ':')
+		buf = append(buf, vb...)
+	}
+	return append(buf, '}'), nil
+}
+
+// Snapshot exports every registered metric's raw values. Take it from
+// a quiescent point (the campaign's drain barrier) — mid-flight
+// atomics would still be racing.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(Snapshot, len(r.metrics))
+	for _, m := range r.metrics {
+		out[m.name] = m.raw()
+	}
+	return out
+}
+
+// Restore loads a snapshot. Values for metrics not yet registered are
+// kept pending and applied when the metric registers (a resumed
+// campaign restores its checkpoint before the scanner — and the
+// scanner's metrics — are built). Shape mismatches are dropped whole.
+func (r *Registry) Restore(s Snapshot) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, raw := range s {
+		if m := r.byName[name]; m != nil {
+			m.load(raw)
+			continue
+		}
+		if r.pending == nil {
+			r.pending = make(map[string][]int64)
+		}
+		r.pending[name] = append([]int64(nil), raw...)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// series is one flattened (key, value) sample. Keys follow the
+// Prometheus series notation without quotes — `name{label=VAL}`,
+// `name_bucket{le=N}` — so telemetry lines stay greppable without
+// JSON-escaped quote noise.
+type series struct {
+	key string
+	val int64
+}
+
+// flatten expands every metric into its series samples. Histogram
+// buckets are cumulative, mirroring the exposition format.
+func (r *Registry) flatten() []series {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	var out []series
+	for _, m := range metrics {
+		switch {
+		case m.kind == KindHistogram:
+			var cum int64
+			for i := range m.counts {
+				cum += m.counts[i].Load()
+				le := "+Inf"
+				if i < len(m.bounds) {
+					le = strconv.FormatInt(m.bounds[i], 10)
+				}
+				out = append(out, series{m.name + "_bucket{le=" + le + "}", cum})
+			}
+			out = append(out, series{m.name + "_sum", m.sum.Load()})
+			out = append(out, series{m.name + "_count", cum})
+		case len(m.labelVals) > 0:
+			for i, lv := range m.labelVals {
+				out = append(out, series{m.name + "{" + m.label + "=" + lv + "}", m.vals[i].Load()})
+			}
+		default:
+			out = append(out, series{m.name, m.vals[0].Load()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// TelemetryWriter emits one JSONL line per campaign slice with the full
+// registry state: sorted series keys, int64 values, logical timestamps
+// — byte-identical across worker counts and across a checkpoint resume
+// (the resumed registry continues from the checkpointed values).
+type TelemetryWriter struct {
+	r   *Registry
+	w   io.Writer
+	buf []byte
+}
+
+// NewTelemetryWriter returns a per-slice telemetry stream over w.
+func NewTelemetryWriter(r *Registry, w io.Writer) *TelemetryWriter {
+	return &TelemetryWriter{r: r, w: w}
+}
+
+// WriteSlice emits the slice's telemetry line. Call from a quiescent
+// point (the drain barrier): no metric may be mid-update.
+func (t *TelemetryWriter) WriteSlice(slice int, at time.Time) error {
+	b := t.buf[:0]
+	b = append(b, `{"slice":`...)
+	b = strconv.AppendInt(b, int64(slice), 10)
+	b = append(b, `,"time":"`...)
+	b = at.UTC().AppendFormat(b, time.RFC3339)
+	b = append(b, `","metrics":{`...)
+	for i, s := range t.r.flatten() {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, s.key...) // keys are metric identifiers: no JSON escaping needed
+		b = append(b, `":`...)
+		b = strconv.AppendInt(b, s.val, 10)
+	}
+	b = append(b, "}}\n"...)
+	t.buf = b
+	_, err := t.w.Write(b)
+	return err
+}
+
+// Value returns a named series' current value (the invariant tests'
+// read API): scalar/vec metrics by flattened key, histograms via their
+// _sum/_count/_bucket series.
+func (r *Registry) Value(key string) (int64, bool) {
+	for _, s := range r.flatten() {
+		if s.key == key {
+			return s.val, true
+		}
+	}
+	return 0, false
+}

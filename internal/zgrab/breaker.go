@@ -69,6 +69,12 @@ type Breaker struct {
 	entries map[netip.Prefix]*breakerEntry
 
 	skipped atomic.Int64
+
+	// met, when set (by the owning scanner), receives transition
+	// counters and the open-set gauge from Advance. Transitions only
+	// happen at the drain barrier, so the counts are a pure function of
+	// the schedule.
+	met *Metrics
 }
 
 // NewBreaker returns a breaker with cfg (zero fields take defaults).
@@ -131,6 +137,7 @@ func (b *Breaker) Record(addr netip.Addr, alive bool) {
 func (b *Breaker) Advance(now time.Time) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
+	open := int64(0)
 	for _, e := range b.entries {
 		sliceDark := e.dark.Swap(0)
 		sliceAlive := e.alive.Swap(0)
@@ -141,21 +148,39 @@ func (b *Breaker) Advance(now time.Time) {
 			if e.winDark >= int64(b.cfg.Threshold) && e.winAlive == 0 {
 				e.state.Store(breakerOpen)
 				e.openedAt = now
+				if b.met != nil {
+					b.met.BreakerOpened.Inc()
+				}
 			}
 		case breakerOpen:
 			if now.Sub(e.openedAt) >= b.cfg.Cooldown {
 				e.state.Store(breakerProbing)
+				if b.met != nil {
+					b.met.BreakerProbation.Inc()
+				}
 			}
 		case breakerProbing:
 			switch {
 			case sliceAlive > 0:
 				e.state.Store(breakerClosed)
 				e.winDark = 0
+				if b.met != nil {
+					b.met.BreakerClosed.Inc()
+				}
 			case sliceDark > 0:
 				e.state.Store(breakerOpen)
 				e.openedAt = now
+				if b.met != nil {
+					b.met.BreakerReopened.Inc()
+				}
 			}
 		}
+		if e.state.Load() == breakerOpen {
+			open++
+		}
+	}
+	if b.met != nil {
+		b.met.BreakerOpen.Set(open)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ntpscan/internal/netsim"
+	"ntpscan/internal/obs"
 )
 
 // Limiter bounds the probe rate. Wait blocks until the caller may send
@@ -267,6 +268,12 @@ type Config struct {
 	// the result's schedule rather than slept; under a real clock it
 	// sleeps.
 	Retry *RetryPolicy
+	// Obs is the metrics registry the scanner registers on. Nil gets a
+	// private registry, so instrumentation is always on (it is a few
+	// atomic adds) and Metrics() never returns nil. The campaign
+	// pipeline passes its own registry so campaign and hitlist scans
+	// accumulate into one set of books.
+	Obs *obs.Registry
 	// Breaker, when set, enables the per-prefix circuit breaker:
 	// targets in prefixes that have produced nothing but silence are
 	// skipped (emitting StatusBreakerOpen results) until the cooldown's
@@ -311,6 +318,7 @@ type Scanner struct {
 	env     *Env
 	revisit *Revisit
 	breaker *Breaker // nil unless Config.Breaker is set
+	met     *Metrics // never nil
 
 	queue   chan *[]target
 	wg      sync.WaitGroup
@@ -373,8 +381,14 @@ func NewScanner(cfg Config) *Scanner {
 		revisit: NewRevisit(cfg.RevisitAfter),
 		queue:   make(chan *[]target, 4096),
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.met = newScanMetrics(reg, cfg.Modules)
 	if cfg.Breaker != nil {
 		s.breaker = NewBreaker(*cfg.Breaker)
+		s.breaker.met = s.met
 	}
 	s.pendingCond = sync.NewCond(&s.pendingMu)
 	return s
@@ -446,8 +460,10 @@ func (s *Scanner) Submit(addr netip.Addr) bool {
 		return false
 	}
 	s.submitted.Add(1)
+	s.met.Submitted.Inc()
 	if !s.revisit.Allow(addr, s.cfg.Clock.Now()) {
 		s.suppressed.Add(1)
+		s.met.Suppressed.Inc()
 		return false
 	}
 	bp := chunkPool.Get().(*[]target)
@@ -468,6 +484,7 @@ func (s *Scanner) SubmitBatch(addrs []netip.Addr) int {
 		return 0
 	}
 	s.submitted.Add(int64(len(addrs)))
+	s.met.Submitted.Add(int64(len(addrs)))
 	accepted := 0
 	now := s.cfg.Clock.Now()
 	bp := chunkPool.Get().(*[]target)
@@ -475,6 +492,7 @@ func (s *Scanner) SubmitBatch(addrs []netip.Addr) int {
 	for _, addr := range addrs {
 		if !s.revisit.Allow(addr, now) {
 			s.suppressed.Add(1)
+			s.met.Suppressed.Inc()
 			continue
 		}
 		accepted++
@@ -519,18 +537,27 @@ func (s *Scanner) Drain() {
 // the queue (used by tests and the batch hitlist run's driver).
 func (s *Scanner) ScanNow(ctx context.Context, addr netip.Addr) []*Result {
 	seq := s.nextSeq.Add(1) - 1
+	s.met.Submitted.Inc()
 	out := make([]*Result, 0, len(s.cfg.Modules))
 	for i, m := range s.cfg.Modules {
-		if err := s.cfg.Limiter.Wait(ctx); err != nil {
+		t := obs.StartTimer(s.met.LimiterWait, s.cfg.Clock)
+		err := s.cfg.Limiter.Wait(ctx)
+		t.Stop()
+		if err != nil {
 			return out
 		}
 		s.probes.Add(1)
+		s.met.Probes.Inc(i)
 		r := m.Scan(ctx, s.env, addr)
+		if r.Status == StatusSuccess {
+			s.met.Successes.Inc(i)
+		}
 		r.Seq = seq*int64(len(s.cfg.Modules)) + int64(i)
 		out = append(out, r)
 		s.emit(0, r)
 	}
 	s.scanned.Add(1)
+	s.met.Completed.Inc()
 	return out
 }
 
@@ -559,16 +586,20 @@ func (s *Scanner) scanOne(ctx context.Context, worker int, t target) {
 			s.emit(worker, r)
 		}
 		s.scanned.Add(1)
+		s.met.Shed.Inc()
 		return
 	}
 	alive := false
 	for i, m := range s.cfg.Modules {
-		r := s.scanModule(ctx, t.addr, m)
+		r := s.scanModule(ctx, t.addr, i, m)
 		if r == nil {
 			return // cancelled in the limiter
 		}
 		if Alive(r) {
 			alive = true
+		}
+		if r.Status == StatusSuccess {
+			s.met.Successes.Inc(i)
 		}
 		r.Seq = t.seq*int64(len(s.cfg.Modules)) + int64(i)
 		if s.cfg.InterProtocolDelay > 0 {
@@ -580,6 +611,7 @@ func (s *Scanner) scanOne(ctx context.Context, worker int, t target) {
 		s.breaker.Record(t.addr, alive)
 	}
 	s.scanned.Add(1)
+	s.met.Completed.Inc()
 }
 
 // scanModule runs one module probe under the retry policy and returns
@@ -587,14 +619,18 @@ func (s *Scanner) scanOne(ctx context.Context, worker int, t target) {
 // Retries re-roll the fabric's fault hashes via the context attempt
 // tag; accumulated backoff is stamped into the result's schedule under
 // a logical clock and slept under a real one.
-func (s *Scanner) scanModule(ctx context.Context, addr netip.Addr, m Module) *Result {
+func (s *Scanner) scanModule(ctx context.Context, addr netip.Addr, mi int, m Module) *Result {
 	attempts := s.cfg.Retry.attempts()
 	var backoff time.Duration
 	for attempt := 0; ; attempt++ {
-		if err := s.cfg.Limiter.Wait(ctx); err != nil {
+		t := obs.StartTimer(s.met.LimiterWait, s.cfg.Clock)
+		err := s.cfg.Limiter.Wait(ctx)
+		t.Stop()
+		if err != nil {
 			return nil
 		}
 		s.probes.Add(1)
+		s.met.Probes.Inc(mi)
 		r := m.Scan(netsim.WithAttempt(ctx, attempt), s.env, addr)
 		if attempt > 0 {
 			r.Attempts = attempt + 1
@@ -603,9 +639,14 @@ func (s *Scanner) scanModule(ctx context.Context, addr netip.Addr, m Module) *Re
 			r.Time = r.Time.Add(backoff)
 		}
 		if attempt+1 >= attempts || !Classify(r).Retryable() {
+			if attempt > 0 && Classify(r).Retryable() {
+				s.met.RetryExhausted.Inc()
+			}
 			return r
 		}
+		s.met.Retries.Inc(mi)
 		d := s.cfg.Retry.Backoff(addr, m.Name(), attempt)
+		s.met.Backoff.Observe(obs.DurationMS(d))
 		if s.logical() {
 			backoff += d
 		} else {
