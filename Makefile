@@ -30,7 +30,7 @@ race:
 # internal/obs. NTPSCAN_CHAOS_SEEDS overrides the seeds.
 chaos:
 	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
-		$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/zgrab/ ./internal/core/ ./internal/obs/
+		$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/zgrab/ ./internal/core/ ./internal/obs/ ./internal/store/
 
 # fuzz-smoke runs every fuzz target for a short burst (FUZZTIME each,
 # default 10s) on top of its committed seed corpus under testdata/fuzz.
@@ -46,7 +46,8 @@ FUZZ_TARGETS := \
 	./internal/proto/httpx:FuzzReadResponse \
 	./internal/proto/httpx:FuzzExtractTitle \
 	./internal/proto/mqttx:FuzzReadPacket \
-	./internal/proto/mqttx:FuzzDecodeConnect
+	./internal/proto/mqttx:FuzzDecodeConnect \
+	./internal/store:FuzzSegmentDecode
 
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
@@ -73,12 +74,22 @@ cover-gate: cover
 		{ echo "cover-gate: coverage $$total% fell below baseline $$base% - 0.5"; exit 1; }
 
 # bench runs the pipeline benchmarks and records them, with host
-# metadata, in BENCH_pipeline.json. NTPSCAN_SCALE multiplies the bench
+# metadata, in BENCH_pipeline.json, then the columnar-store ingest /
+# query / compaction benchmarks (side by side with their flat-JSONL
+# equivalents) in BENCH_store.json. NTPSCAN_SCALE multiplies the bench
 # world scale (see bench_test.go). -benchmem and the fixed -benchtime
 # mean the JSON always carries B/op and allocs/op columns and runs are
 # comparable across commits.
+STORE_BENCH := BenchmarkStoreIngest$$|BenchmarkStoreIngestCompact$$|BenchmarkJSONLIngest$$|BenchmarkStoreScanAll$$|BenchmarkStoreScanModule$$|BenchmarkJSONLScan$$
+STORE_BENCH_NOTE := Columnar store vs flat JSONL on an identical 8-slice x 2000-row result workload: \
+ingest (segment writes, with and without compaction), full result scan, and a selective \
+one-module-of-four scan where dictionary-mask pushdown skips blocks. No before/after split — \
+the JSONL benchmarks in the same results block are the comparison.
+
 bench:
 	$(GO) run ./cmd/benchjson -benchtime 1x -out BENCH_pipeline.json
+	$(GO) run ./cmd/benchjson -pkg ./internal/store/ -bench '$(STORE_BENCH)' \
+		-baseline none -note "$(STORE_BENCH_NOTE)" -benchtime 1x -out BENCH_store.json
 
 # bench-compare is the regression gate: a fresh (non -race) benchmark
 # run diffed against the committed BENCH_pipeline.json "after" block.
@@ -88,6 +99,8 @@ bench:
 # NTPSCAN_BENCH_COMPARE=1.
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare -benchtime 1x -out BENCH_pipeline.json
+	$(GO) run ./cmd/benchjson -pkg ./internal/store/ -bench '$(STORE_BENCH)' \
+		-compare -benchtime 1x -out BENCH_store.json
 
 # profiles emits pprof CPU+heap profiles and an execution trace for
 # BenchmarkFullCampaign into ./profiles/ — the measurement feeding the

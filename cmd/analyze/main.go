@@ -1,20 +1,25 @@
-// Command analyze turns saved scan results (v6scan JSONL output) into
-// the paper's analysis tables without re-running any scans:
+// Command analyze turns saved scan results into the paper's analysis
+// tables without re-running any scans:
 //
 //	poolsim -seed 7 | v6scan -seed 7 -targets -  > ntp.jsonl
 //	v6scan -seed 7 -hitlist                      > hitlist.jsonl
 //	analyze -seed 7 -ntp ntp.jsonl -hitlist hitlist.jsonl
 //
-// The seed regenerates the world's registries (AS, geolocation, OUI) so
-// addresses resolve; it must match the seed the scans ran under.
+// An input path may be a JSONL file (decoded as a stream — no slurp)
+// or a columnar store directory (read through the query engine, which
+// skips non-result blocks outright; the pruning stats land on stderr).
+// The seed regenerates the world's registries (AS, geolocation, OUI)
+// so addresses resolve; it must match the seed the scans ran under.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"ntpscan/internal/analysis"
+	"ntpscan/internal/store"
 	"ntpscan/internal/tabulate"
 	"ntpscan/internal/world"
 	"ntpscan/internal/zgrab"
@@ -117,16 +122,48 @@ func main() {
 }
 
 func loadDataset(name, path string) (*analysis.Dataset, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	if fi.IsDir() {
+		return loadStoreDataset(name, path)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	results, err := zgrab.ReadJSONL(f)
-	if err != nil {
+	br := bufio.NewReaderSize(f, 1<<20)
+	d := analysis.NewDataset(name, nil)
+	if err := zgrab.DecodeJSONL(br, func(r *zgrab.Result) error {
+		d.Add(r)
+		return nil
+	}); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	return analysis.NewDataset(name, results), nil
+	return d, nil
+}
+
+// loadStoreDataset streams result rows out of a columnar store
+// directory. The result-kind predicate pushes down to the footer
+// index, so capture blocks are skipped without being read; the scan
+// stats quantify it.
+func loadStoreDataset(name, dir string) (*analysis.Dataset, error) {
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	next, stats := st.Results(store.Pred{})
+	d, err := analysis.NewDatasetStream(name, next)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	s := stats()
+	fmt.Fprintf(os.Stderr,
+		"analyze: %s: %d segments, read %d blocks (%d bytes), skipped %d blocks (%d bytes) via index pruning\n",
+		dir, s.Segments, s.BlocksRead, s.BytesRead, s.BlocksSkipped, s.BytesSkipped)
+	return d, nil
 }
 
 func expand(names []string, cols ...string) []string {

@@ -1,8 +1,10 @@
-// Command benchjson runs the pipeline benchmarks and records the
-// results, together with host metadata and the pre-parallelisation
-// baseline, in a JSON file (BENCH_pipeline.json at the repo root).
+// Command benchjson runs a package's benchmarks and records the
+// results, together with host metadata and an optional baseline, in a
+// JSON file at the repo root.
 //
 //	go run ./cmd/benchjson -out BENCH_pipeline.json
+//	go run ./cmd/benchjson -pkg ./internal/store/ -bench 'BenchmarkStore|BenchmarkJSONL' \
+//	    -baseline none -out BENCH_store.json
 package main
 
 import (
@@ -96,8 +98,11 @@ func cpuModel() string {
 
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output file (and -compare baseline)")
+	pkg := flag.String("pkg", ".", "package to benchmark")
 	pattern := flag.String("bench", "BenchmarkFullCampaign$|BenchmarkCampaignWorkers$|BenchmarkTable2ScanResults$", "benchmark regexp")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (fixed so runs are comparable)")
+	baselineKind := flag.String("baseline", "pipeline", "embedded \"before\" section: pipeline (the serial-pipeline numbers) or none (cross-format comparisons live side by side in the \"after\" results)")
+	note := flag.String("note", "", "override the report note")
 	compare := flag.Bool("compare", false, "compare a fresh run against the committed baseline's \"after\" block and exit non-zero on regression")
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional regression for bytes/op and allocs/op in -compare mode")
 	nsThreshold := flag.Float64("ns-threshold", 1.00, "allowed fractional regression for ns/op in -compare mode (single-iteration wall time on shared CI hosts varies close to 2x; allocation counts are the deterministic gate)")
@@ -106,7 +111,7 @@ func main() {
 	// The timed run is always plain `go test` — never -race, whose
 	// overhead would swamp every threshold (see ci.sh).
 	cmd := exec.Command("go", "test", "-run", "NONE", "-bench", *pattern,
-		"-benchmem", "-benchtime", *benchtime, "-count", "1", ".")
+		"-benchmem", "-benchtime", *benchtime, "-count", "1", *pkg)
 	cmd.Stderr = os.Stderr
 	raw, err := cmd.Output()
 	if err != nil {
@@ -130,6 +135,10 @@ func main() {
 		NumCPU:    runtime.NumCPU(),
 		CPUModel:  cpuModel(),
 	}
+	before := Section{Host: baselineHost, Results: baseline}
+	if *baselineKind == "none" {
+		before = Section{}
+	}
 	report := Report{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Host:      host,
@@ -140,11 +149,14 @@ func main() {
 			"eliminating those sleeps; additional multi-core scaling (BenchmarkCampaignWorkers) requires " +
 			"NumCPU > 1 — on a 1-CPU host the worker variants measure coordination overhead only. " +
 			"Output is bit-identical across worker counts (see TestCampaignDeterministicAcrossWorkers).",
-		Before: Section{Host: baselineHost, Results: baseline},
+		Before: before,
 		After: Section{
 			Host:    fmt.Sprintf("%s, %s/%s, %d CPU", host.CPUModel, host.GOOS, host.GOARCH, host.NumCPU),
 			Results: results,
 		},
+	}
+	if *note != "" {
+		report.Note = *note
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -31,6 +31,7 @@ func main() {
 		collectOnly = flag.Bool("collect-only", false, "collection tables only (fast)")
 		ablations   = flag.Bool("ablations", false, "also run the ablation experiments")
 		out         = flag.String("out", "", "write output to file instead of stdout")
+		storeDir    = flag.String("store", "", "persist campaign results to a columnar store DIR (readable by cmd/analyze)")
 		metricsOut  = flag.String("metrics", "", "write the campaign's Prometheus-format metrics to FILE at exit")
 	)
 	profCfg := prof.Flags(nil)
@@ -47,16 +48,28 @@ func main() {
 		AddrScale:   *addrScale,
 		ASScale:     *asScale,
 		Workers:     *workers,
+		StoreDir:    *storeDir,
 	}
 
 	var b strings.Builder
 	var suite *ntpscan.Suite
 	if *collectOnly {
+		if *storeDir != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -store needs the scan campaign (drop -collect-only)")
+			os.Exit(2)
+		}
 		fmt.Fprintln(os.Stderr, "running collection phases...")
 		suite = ntpscan.CollectExperiments(opts)
 	} else {
 		fmt.Fprintln(os.Stderr, "running full campaign (collection, real-time scan, hitlist, R&L era)...")
 		suite = ntpscan.RunExperiments(opts)
+	}
+	if suite.Err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", suite.Err)
+		os.Exit(1)
+	}
+	if *storeDir != "" {
+		fmt.Fprintln(os.Stderr, "wrote campaign store to", *storeDir)
 	}
 	b.WriteString(suite.All())
 

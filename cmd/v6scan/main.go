@@ -15,6 +15,11 @@
 // Appendix A):
 //
 //	v6scan -real -targets targets.txt -modules http,ssh -ports ssh=2222
+//
+// -store DIR additionally persists the results to a columnar store
+// directory that cmd/analyze reads directly:
+//
+//	v6scan -seed 7 -hitlist -store scan.store && analyze -ntp scan.store
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"ntpscan/internal/netsim"
 	"ntpscan/internal/obs"
 	"ntpscan/internal/prof"
+	"ntpscan/internal/store"
 	"ntpscan/internal/world"
 	"ntpscan/internal/zgrab"
 )
@@ -51,6 +57,7 @@ func main() {
 		modules     = flag.String("modules", "", "comma-separated module subset (default: all)")
 		real        = flag.Bool("real", false, "scan real networks with kernel sockets instead of the simulation")
 		ports       = flag.String("ports", "", "port overrides, e.g. http=8080,ssh=2222")
+		storeDir    = flag.String("store", "", "also persist results to a columnar store DIR (readable by cmd/analyze)")
 		metricsOut  = flag.String("metrics", "", "write Prometheus-format metrics to FILE at exit")
 	)
 	profCfg := prof.Flags(nil)
@@ -125,6 +132,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "v6scan: %d targets\n", len(list))
 	}
 
+	var st *store.Store
+	var stRows []*zgrab.Result
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{Obs: reg})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "v6scan:", err)
+			os.Exit(1)
+		}
+	}
+
 	bw := bufio.NewWriter(os.Stdout)
 	defer bw.Flush()
 	jw := zgrab.NewJSONLWriter(bw)
@@ -151,7 +169,12 @@ func main() {
 		Modules:       mods,
 		Limiter:       limiter,
 		PortOverrides: overrides,
-		OnResult:      func(r *zgrab.Result) { jw.Write(r) },
+		OnResult: func(r *zgrab.Result) {
+			jw.Write(r)
+			if st != nil {
+				stRows = append(stRows, r)
+			}
+		},
 	})
 	scanner.Start(context.Background())
 	for _, a := range list {
@@ -159,6 +182,17 @@ func main() {
 	}
 	scanner.Close()
 	bw.Flush()
+	if st != nil {
+		err := st.AppendResults(stRows)
+		if err == nil {
+			err = st.Seal()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "v6scan:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "v6scan: wrote store to", *storeDir)
+	}
 	if *metricsOut != "" {
 		if err := writeMetrics(reg, *metricsOut); err != nil {
 			fmt.Fprintln(os.Stderr, "v6scan:", err)

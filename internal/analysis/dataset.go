@@ -58,6 +58,24 @@ func (d *Dataset) Add(r *zgrab.Result) {
 	}
 }
 
+// NewDatasetStream builds a dataset by pulling results from next until
+// it reports the end with (nil, nil) — the shape both the columnar
+// store's query iterator and a streaming JSONL decoder adapt to, so no
+// caller ever materialises an undecoded input file.
+func NewDatasetStream(name string, next func() (*zgrab.Result, error)) (*Dataset, error) {
+	d := NewDataset(name, nil)
+	for {
+		r, err := next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return d, nil
+		}
+		d.Add(r)
+	}
+}
+
 // uniqueAddrs returns the distinct addresses among results.
 func uniqueAddrs(results []*zgrab.Result) map[netip.Addr]struct{} {
 	out := make(map[netip.Addr]struct{})

@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"errors"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"ntpscan/internal/zgrab"
+)
+
+func TestNewDatasetStream(t *testing.T) {
+	rows := []*zgrab.Result{
+		{IP: netip.MustParseAddr("2001:db8::1"), Module: "http", Status: zgrab.StatusSuccess},
+		{IP: netip.MustParseAddr("2001:db8::2"), Module: "ssh", Status: zgrab.StatusTimeout},
+	}
+	i := 0
+	ds, err := NewDatasetStream("ntp", func() (*zgrab.Result, error) {
+		if i == len(rows) {
+			return nil, nil
+		}
+		i++
+		return rows[i-1], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewDataset("ntp", rows)
+	if !reflect.DeepEqual(ds.Results, want.Results) ||
+		!reflect.DeepEqual(ds.Successes("http"), want.Successes("http")) {
+		t.Fatalf("streamed dataset diverges from slurped: %d vs %d rows", len(ds.Results), len(want.Results))
+	}
+
+	boom := errors.New("boom")
+	if _, err := NewDatasetStream("ntp", func() (*zgrab.Result, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("source error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,154 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"ntpscan/internal/core"
+	"ntpscan/internal/store"
+)
+
+func storeDigest(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, n := range names {
+		data, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(h, "%s %d\n", n, len(data))
+		h.Write(data)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// Crash recovery under faults: a store-backed faulted campaign is
+// killed with a torn tail — the newest segment half-written, a stray
+// .tmp staged, and the manifest rolled back to the last checkpoint's
+// state — and the resumed run must recover the directory and finish
+// bit-identical to the uninterrupted run, torn bytes and all.
+func TestStoreTornTailRecoveryUnderFaults(t *testing.T) {
+	for _, seed := range Seeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			// Uninterrupted reference run.
+			cfg := Config(seed)
+			p1 := FaultedPipeline(cfg, seed+1, DefaultSpec())
+			fullDir := t.TempDir()
+			st1, err := store.Open(fullDir, store.Options{Obs: p1.Obs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var full bytes.Buffer
+			var cps []*core.Checkpoint
+			crashDir := t.TempDir()
+			if _, err := p1.RunCampaign(context.Background(), core.CampaignOpts{
+				Store:           st1,
+				Out:             &full,
+				CheckpointEvery: 24,
+				OnCheckpoint: func(cp *core.Checkpoint) {
+					cps = append(cps, cp)
+					// Snapshot one checkpoint PAST the resume point: the
+					// segments torn below must postdate the manifest the
+					// resume rewinds to, as a real crash's in-flight
+					// writes would.
+					if len(cps) == 3 {
+						// Snapshot the directory the crash will tear below.
+						ents, err := os.ReadDir(fullDir)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, e := range ents {
+							data, err := os.ReadFile(filepath.Join(fullDir, e.Name()))
+							if err != nil {
+								t.Fatal(err)
+							}
+							if err := os.WriteFile(filepath.Join(crashDir, e.Name()), data, 0o644); err != nil {
+								t.Fatal(err)
+							}
+						}
+					}
+				},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(cps) < 3 {
+				t.Fatalf("expected 3 checkpoints, got %d", len(cps))
+			}
+			wantDigest := storeDigest(t, fullDir)
+			cp := cps[1]
+			blob, err := json.Marshal(cp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back core.Checkpoint
+			if err := json.Unmarshal(blob, &back); err != nil {
+				t.Fatal(err)
+			}
+
+			// Tear the tail: truncate the newest live segment to half its
+			// bytes and stage a stray .tmp, as a mid-write kill would.
+			ents, err := os.ReadDir(crashDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var segs []string
+			for _, e := range ents {
+				if strings.HasSuffix(e.Name(), ".seg") {
+					segs = append(segs, e.Name())
+				}
+			}
+			if len(segs) == 0 {
+				t.Fatal("crash snapshot holds no segments")
+			}
+			sort.Strings(segs)
+			victim := filepath.Join(crashDir, segs[len(segs)-1])
+			data, err := os.ReadFile(victim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(victim, data[:len(data)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(crashDir, "seg-L0-99999.seg.tmp"), []byte("torn"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Resume on a fresh faulted pipeline: Open must drop the torn
+			// tail, ResetTo must rewind to the checkpoint manifest, and the
+			// rerun must land on the uninterrupted run's exact bytes.
+			p2 := FaultedPipeline(cfg, seed+1, DefaultSpec())
+			st2, err := store.Open(crashDir, store.Options{Obs: p2.Obs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rest bytes.Buffer
+			if _, err := p2.ResumeCampaign(context.Background(), &back, core.CampaignOpts{Store: st2, Out: &rest}); err != nil {
+				t.Fatal(err)
+			}
+			if got := storeDigest(t, crashDir); got != wantDigest {
+				t.Error("recovered store directory diverges from uninterrupted run")
+			}
+			if want := full.Bytes()[back.OutOffset:]; !bytes.Equal(rest.Bytes(), want) {
+				t.Errorf("resumed output %d bytes, want %d", rest.Len(), len(want))
+			}
+		})
+	}
+}

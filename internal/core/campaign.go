@@ -26,6 +26,7 @@ import (
 
 	"ntpscan/internal/analysis"
 	"ntpscan/internal/obs"
+	"ntpscan/internal/store"
 	"ntpscan/internal/zgrab"
 )
 
@@ -68,6 +69,11 @@ type Checkpoint struct {
 	// OutOffset is how many bytes of JSONL output the run had written;
 	// a resumed run's writer continues exactly here.
 	OutOffset int64 `json:"out_offset"`
+	// Store pins the columnar store's live segment list at the boundary
+	// (present only when the campaign ran with a store attached). Resume
+	// rewinds the store directory to exactly this state — the durable
+	// replacement for the fragile JSONL byte offset.
+	Store *store.Manifest `json:"store,omitempty"`
 }
 
 // PoolScoreMap is the checkpoint's vantage-score table. Its custom
@@ -121,6 +127,13 @@ type CampaignOpts struct {
 	// and a resumed campaign emits exactly the lines the uninterrupted
 	// run would have from its resume slice onward.
 	Telemetry io.Writer
+	// Store, when non-nil, is the campaign's durable columnar sink: at
+	// each slice's drain barrier the slice's capture events and scan
+	// results are appended as one immutable segment, checkpoints carry
+	// the store manifest, and resume rewinds the directory to it. The
+	// store directory is bit-identical across worker counts and across
+	// an interrupted-and-resumed run.
+	Store *store.Store
 }
 
 // countingWriter tracks the output byte offset for checkpoints.
@@ -232,6 +245,14 @@ func (p *Pipeline) ResumeCampaign(ctx context.Context, cp *Checkpoint, opts Camp
 	if err := p.restore(cp); err != nil {
 		return nil, err
 	}
+	if opts.Store != nil {
+		if cp.Store == nil {
+			return nil, fmt.Errorf("core: checkpoint carries no store manifest but a store is attached")
+		}
+		if err := opts.Store.ResetTo(*cp.Store); err != nil {
+			return nil, err
+		}
+	}
 	return p.runCampaignFrom(ctx, cp.NextSlice, opts)
 }
 
@@ -256,11 +277,31 @@ func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts Cam
 	}
 
 	var werr error
+	// capBase marks the capture-log high-water mark, so each slice's
+	// store append carries exactly the captures that slice produced.
+	// After a restore the log already holds the replayed prefix — those
+	// slices live in segments the store was reset to.
+	capBase := len(p.capLog)
+	var capScratch []store.CaptureRow
 	p.collectFrom(startSlice, func(batch []netip.Addr) {
 		scanner.SubmitBatch(batch)
 	}, scanner.Drain, func(next int, shards []*collectShard) {
 		if err := sink.flush(); err != nil && werr == nil {
 			werr = err
+		}
+		// Store before telemetry: the slice's segment write lands in its
+		// own telemetry line and checkpoint snapshot, identically in full
+		// and resumed runs.
+		if opts.Store != nil {
+			rows := capScratch[:0]
+			for _, c := range p.capLog[capBase:] {
+				rows = append(rows, store.CaptureRow{Addr: c.Addr, Vantage: c.Country})
+			}
+			capBase = len(p.capLog)
+			capScratch = rows
+			if err := opts.Store.AppendSlice(next-1, rows, sink.batch); err != nil && werr == nil {
+				werr = err
+			}
 		}
 		// Telemetry before checkpointing: the line reflects the slice's
 		// quiescent state, and the checkpoint counter below must tick
@@ -274,12 +315,28 @@ func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts Cam
 		if opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil &&
 			next < collectSlices && next%opts.CheckpointEvery == 0 {
 			p.met.checkpoints.Inc()
-			opts.OnCheckpoint(p.checkpoint(next, shards, scanner, sink.offset()))
+			cp := p.checkpoint(next, shards, scanner, sink.offset())
+			if opts.Store != nil {
+				m := opts.Store.Manifest()
+				cp.Store = &m
+			}
+			opts.OnCheckpoint(cp)
 		}
 	})
 	scanner.Close()
 	if err := sink.flush(); err != nil && werr == nil {
 		werr = err
+	}
+	if opts.Store != nil {
+		// The post-Close drain can surface a result tail past the last
+		// collection slice; it lands on the synthetic slice collectSlices,
+		// and sealing garbage-collects retired compaction inputs.
+		if err := opts.Store.AppendSlice(collectSlices, nil, sink.batch); err != nil && werr == nil {
+			werr = err
+		}
+		if err := opts.Store.Seal(); err != nil && werr == nil {
+			werr = err
+		}
 	}
 	p.restoreCp = nil
 	return analysis.NewDataset("ntp", sink.all), werr

@@ -15,6 +15,7 @@ import (
 	"ntpscan/internal/analysis"
 	"ntpscan/internal/core"
 	"ntpscan/internal/hitlist"
+	"ntpscan/internal/store"
 	"ntpscan/internal/world"
 )
 
@@ -36,6 +37,11 @@ type Options struct {
 	// it), so leave it zero (= core default) unless you intend to
 	// define a different experiment.
 	CollectShards int
+	// StoreDir, when non-empty, persists the NTP campaign's captures
+	// and results to a columnar store directory there (see
+	// internal/store; readable by cmd/analyze). Attaching the store
+	// does not change the campaign's dataset or tables.
+	StoreDir string
 }
 
 func (o *Options) fill() {
@@ -60,6 +66,9 @@ func (o *Options) fill() {
 type Suite struct {
 	Opts Options
 	P    *core.Pipeline
+	// Err is set when the optional store sink failed (open or write);
+	// the datasets are not usable in that case.
+	Err error
 
 	NTP     *analysis.Dataset // real-time NTP-sourced scan results
 	Hitlist *analysis.Dataset // batch hitlist scan results
@@ -87,7 +96,18 @@ func Run(opts Options) *Suite {
 	s := &Suite{Opts: opts, P: p}
 	ctx := context.Background()
 
-	s.NTP = p.RunNTPCampaign(ctx)
+	if opts.StoreDir != "" {
+		st, err := store.Open(opts.StoreDir, store.Options{Obs: p.Obs})
+		if err == nil {
+			s.NTP, err = p.RunCampaign(ctx, core.CampaignOpts{Store: st})
+		}
+		if err != nil {
+			s.Err = err
+			return s
+		}
+	} else {
+		s.NTP = p.RunNTPCampaign(ctx)
+	}
 	s.HL = p.BuildHitlist(hitlist.Config{})
 	s.Hitlist = p.ScanHitlist(ctx, s.HL)
 

@@ -1,0 +1,182 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ntpscan/internal/zgrab"
+)
+
+// Bench workload: benchSlices slices of benchRows results each, the
+// shape a campaign drains. The same rows feed the JSONL benchmarks so
+// the two substrates are directly comparable (see BENCH_store.json).
+const (
+	benchSlices = 8
+	benchRows   = 2000
+)
+
+func benchResults() [][]*zgrab.Result {
+	out := make([][]*zgrab.Result, benchSlices)
+	for sl := range out {
+		rows := make([]*zgrab.Result, benchRows)
+		for i := range rows {
+			r := testResult(sl*benchRows+i, sl)
+			// One module per slice (campaign drains are batch-shaped),
+			// so block dictionary masks are selective and the module
+			// scan below exercises real pushdown.
+			r.Module = testMods[sl%len(testMods)]
+			rows[i] = r
+		}
+		out[sl] = rows
+	}
+	return out
+}
+
+func ingestStore(b testing.TB, dir string, slices [][]*zgrab.Result, compactEvery int) *Store {
+	b.Helper()
+	s, err := Open(dir, Options{CompactEvery: compactEvery})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for sl, rows := range slices {
+		if err := s.AppendSlice(sl, nil, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func ingestJSONL(b testing.TB, path string, slices [][]*zgrab.Result) {
+	b.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for _, rows := range slices {
+		for _, r := range rows {
+			if err := enc.Encode(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStoreIngest measures columnar segment writes, one per drain
+// slice, compaction disabled.
+func BenchmarkStoreIngest(b *testing.B) {
+	slices := benchResults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		ingestStore(b, dir, slices, -1)
+	}
+}
+
+// BenchmarkStoreIngestCompact is ingest plus the periodic merge: the
+// difference against BenchmarkStoreIngest is the compaction cost.
+func BenchmarkStoreIngestCompact(b *testing.B) {
+	slices := benchResults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		ingestStore(b, dir, slices, 4)
+	}
+}
+
+// BenchmarkJSONLIngest writes the same rows as flat JSONL, the legacy
+// sink.
+func BenchmarkJSONLIngest(b *testing.B) {
+	slices := benchResults()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		path := filepath.Join(b.TempDir(), "bench.jsonl")
+		b.StartTimer()
+		ingestJSONL(b, path, slices)
+	}
+}
+
+// BenchmarkStoreScanAll streams every result row back out of the
+// store.
+func BenchmarkStoreScanAll(b *testing.B) {
+	s := ingestStore(b, b.TempDir(), benchResults(), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		it := s.Scan(Pred{Kind: KindResults})
+		for it.Next() {
+			n++
+		}
+		if it.Err() != nil {
+			b.Fatal(it.Err())
+		}
+		if n != benchSlices*benchRows {
+			b.Fatalf("scanned %d rows", n)
+		}
+	}
+}
+
+// BenchmarkStoreScanModule is the selective query: one module out of
+// four over the L0 layout, where per-block dictionary masks skip the
+// three-quarters of blocks carrying other modules.
+func BenchmarkStoreScanModule(b *testing.B) {
+	s := ingestStore(b, b.TempDir(), benchResults(), -1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		it := s.Scan(Pred{Modules: []string{testMods[0]}})
+		for it.Next() {
+			n++
+		}
+		if it.Err() != nil {
+			b.Fatal(it.Err())
+		}
+		if want := benchSlices / len(testMods) * benchRows; n != want {
+			b.Fatalf("module scan matched %d rows, want %d", n, want)
+		}
+	}
+}
+
+// BenchmarkJSONLScan re-parses the flat file, the legacy query path —
+// every byte read and decoded regardless of the question asked.
+func BenchmarkJSONLScan(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "bench.jsonl")
+	ingestJSONL(b, path, benchResults())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		err = zgrab.DecodeJSONL(bufio.NewReaderSize(f, 1<<20), func(*zgrab.Result) error {
+			n++
+			return nil
+		})
+		f.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n != benchSlices*benchRows {
+			b.Fatalf("scanned %d rows", n)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package store
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// ExportJSONL is the compatibility view: it streams the result rows
+// matching pred to w in the campaign's JSONL encoding (one
+// json.Encoder line per result, canonical order), so downstream JSONL
+// consumers keep working against a store-backed campaign. An
+// unfiltered export of an uncompacted-or-compacted store reproduces
+// the legacy campaign output byte-for-byte.
+func (s *Store) ExportJSONL(w io.Writer, pred Pred) error {
+	pred.Kind = KindResults
+	it := s.Scan(pred)
+	defer it.Close()
+	enc := json.NewEncoder(w)
+	for it.Next() {
+		if err := enc.Encode(it.Row().Result); err != nil {
+			return err
+		}
+	}
+	return it.Err()
+}

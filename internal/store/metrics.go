@@ -1,0 +1,38 @@
+package store
+
+import "ntpscan/internal/obs"
+
+// Metrics are the store's observability families. Writer-side counters
+// (segments, blocks, bytes written; compactions) advance at drain
+// barriers, so they are deterministic per slice and ride checkpoint
+// telemetry unchanged across worker counts and resume. Reader-side
+// counters (blocks/bytes read and skipped) are the query engine's
+// pruning evidence, folded in at Iter.Close.
+type Metrics struct {
+	SegmentsWritten   *obs.Counter
+	SegmentsCompacted *obs.Counter
+	Compactions       *obs.Counter
+	BlocksWritten     *obs.Counter
+	BytesWritten      *obs.Counter
+
+	BlocksRead    *obs.Counter
+	BlocksSkipped *obs.Counter
+	BytesRead     *obs.Counter
+	BytesSkipped  *obs.Counter
+}
+
+// NewMetrics registers (or re-binds, registries are get-or-create) the
+// store families on reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		SegmentsWritten:   reg.NewCounter("store_segments_written_total", "Immutable segments written (L0 appends and L1 compactions)."),
+		SegmentsCompacted: reg.NewCounter("store_segments_compacted_total", "L0 segments consumed by compaction."),
+		Compactions:       reg.NewCounter("store_compactions_total", "Compaction merges run."),
+		BlocksWritten:     reg.NewCounter("store_blocks_written_total", "Column blocks written into segments."),
+		BytesWritten:      reg.NewCounter("store_bytes_written_total", "Segment bytes written (compressed, incl. footers)."),
+		BlocksRead:        reg.NewCounter("store_blocks_read_total", "Column blocks read by query scans."),
+		BlocksSkipped:     reg.NewCounter("store_blocks_skipped_total", "Column blocks skipped by predicate pushdown."),
+		BytesRead:         reg.NewCounter("store_bytes_read_total", "Block bytes read by query scans."),
+		BytesSkipped:      reg.NewCounter("store_bytes_skipped_total", "Block bytes skipped by predicate pushdown."),
+	}
+}

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// openSegment reads and validates a live segment's footer — trailer
+// magic, footer CRC, block index bounds — without touching any block
+// payloads. It returns the parsed sparse index and the file size.
+func (s *Store) openSegment(si SegmentInfo) (*segment, int64, error) {
+	f, err := os.Open(filepath.Join(s.dir, si.Name))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	size := st.Size()
+	if size < int64(len(segMagic))+trailerLen {
+		return nil, 0, fmt.Errorf("store: segment %s: %w", si.Name, errCorrupt)
+	}
+	var tr [trailerLen]byte
+	if _, err := f.ReadAt(tr[:], size-trailerLen); err != nil {
+		return nil, 0, fmt.Errorf("store: segment %s: %w", si.Name, err)
+	}
+	if string(tr[8:]) != ftrMagic {
+		return nil, 0, fmt.Errorf("store: segment %s: %w", si.Name, errCorrupt)
+	}
+	flen := int64(binary.LittleEndian.Uint32(tr[0:4]))
+	fcrc := binary.LittleEndian.Uint32(tr[4:8])
+	ftrStart := size - trailerLen - flen
+	if ftrStart < int64(len(segMagic)) {
+		return nil, 0, fmt.Errorf("store: segment %s: %w", si.Name, errCorrupt)
+	}
+	body := make([]byte, flen)
+	if _, err := f.ReadAt(body, ftrStart); err != nil {
+		return nil, 0, fmt.Errorf("store: segment %s: %w", si.Name, err)
+	}
+	if crc32.Checksum(body, castagnoli) != fcrc {
+		return nil, 0, fmt.Errorf("store: segment %s: %w", si.Name, errCorrupt)
+	}
+	seg, err := parseFooter(body, ftrStart)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: segment %s: %w", si.Name, err)
+	}
+	return seg, size, nil
+}
+
+// readBlock reads and decodes one block's rows from an open segment
+// file.
+func readBlockRaw(f *os.File, bi blockIndex) ([]byte, error) {
+	buf := make([]byte, bi.Len)
+	if _, err := f.ReadAt(buf, bi.Off); err != nil {
+		return nil, err
+	}
+	return decodeBlock(buf, bi)
+}

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func dirBytes(tb testing.TB, dir string) int64 {
+	tb.Helper()
+	var total int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, e := range ents {
+		info, err := e.Info()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}
+
+// TestReportStorageFootprint prints the on-disk and pruning numbers
+// quoted in EXPERIMENTS.md "Columnar store vs JSONL" for the shared
+// bench workload. Skipped unless explicitly asked for:
+//
+//	NTPSCAN_STORE_REPORT=1 go test -run TestReportStorageFootprint -v ./internal/store/
+func TestReportStorageFootprint(t *testing.T) {
+	if os.Getenv("NTPSCAN_STORE_REPORT") == "" {
+		t.Skip("set NTPSCAN_STORE_REPORT=1 to print the storage footprint report")
+	}
+	slices := benchResults()
+
+	jsonlPath := filepath.Join(t.TempDir(), "bench.jsonl")
+	ingestJSONL(t, jsonlPath, slices)
+	info, err := os.Stat(jsonlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonlSize := info.Size()
+
+	l0Dir, l1Dir := t.TempDir(), t.TempDir()
+	l0 := ingestStore(t, l0Dir, slices, -1)
+	ingestStore(t, l1Dir, slices, 4)
+	t.Logf("JSONL file:          %8d bytes", jsonlSize)
+	t.Logf("store (L0 only):     %8d bytes (%.2fx JSONL)", dirBytes(t, l0Dir), float64(dirBytes(t, l0Dir))/float64(jsonlSize))
+	t.Logf("store (compacted):   %8d bytes (%.2fx JSONL)", dirBytes(t, l1Dir), float64(dirBytes(t, l1Dir))/float64(jsonlSize))
+
+	report := func(name string, pred Pred) {
+		it := l0.Scan(pred)
+		n := 0
+		for it.Next() {
+			n++
+		}
+		if it.Err() != nil {
+			t.Fatal(it.Err())
+		}
+		s := it.Stats()
+		it.Close()
+		t.Logf("%-22s %6d rows; blocks %d read / %d skipped; bytes %d read / %d skipped",
+			name, n, s.BlocksRead, s.BlocksSkipped, s.BytesRead, s.BytesSkipped)
+	}
+	report("scan all results:", Pred{Kind: KindResults})
+	report("scan module=http:", Pred{Modules: []string{testMods[0]}})
+	report("scan slices 0-1:", Pred{Slices: &SliceRange{Lo: 0, Hi: 1}})
+}

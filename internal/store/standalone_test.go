@@ -1,0 +1,71 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ntpscan/internal/zgrab"
+)
+
+// AppendResults is the unsliced ingestion surface (standalone v6scan
+// runs): each call lands on the next synthetic slice, so segments stay
+// ordered and the usual query machinery applies.
+func TestAppendResultsAutoSlice(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 3; batch++ {
+		rows := make([]*zgrab.Result, 10)
+		for i := range rows {
+			rows[i] = testResult(batch*10+i, batch)
+		}
+		if err := s.AppendResults(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	man := s.Manifest()
+	if len(man.Segments) != 3 {
+		t.Fatalf("3 batches produced %d segments", len(man.Segments))
+	}
+	for i, si := range man.Segments {
+		if si.SliceLo != i || si.SliceHi != i {
+			t.Fatalf("batch %d landed on slices [%d,%d]", i, si.SliceLo, si.SliceHi)
+		}
+	}
+	it := s.Scan(Pred{Kind: KindResults})
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	it.Close()
+	if n != 30 {
+		t.Fatalf("scanned %d rows, want 30", n)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindCaptures.String() != "captures" || KindResults.String() != "results" {
+		t.Fatalf("kind names: %s/%s", KindCaptures, KindResults)
+	}
+	if Kind(9).String() == "" {
+		t.Fatal("unknown kind must still print")
+	}
+}
+
+func TestOpenRejectsFilePath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plain")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); err == nil {
+		t.Fatal("Open accepted a plain file as a store directory")
+	}
+}

@@ -1,0 +1,430 @@
+// Package store is the campaign's embedded columnar result store: an
+// append-only segment log that replaces raw JSONL as the durable
+// substrate for capture events and zgrab scan results, while keeping
+// JSONL export as a compatibility view (ExportJSONL).
+//
+// # On-disk layout
+//
+// A store is a directory:
+//
+//	dir/
+//	  MANIFEST.json            current live segment list (atomic rename)
+//	  seg-L0-00042.seg         one immutable L0 segment per drain slice
+//	  seg-L1-00040-00047.seg   compacted L1 segment (merged L0 run)
+//	  *.seg.retired            compaction inputs, kept until Seal/ResetTo
+//
+// Each segment file is
+//
+//	"NTPSSEG1" | block* | footer | trailer
+//
+// where every block is a length-prefixed, CRC'd, flate-compressed group
+// of column vectors ([u32 payloadLen][u32 crc32c][flate payload]), the
+// footer carries one sparse index entry per block (kind, slice range,
+// row count, vantage/module bitmask, min//48,max//48 key range) plus a
+// segment-level bloom filter over /48 prefixes, and the trailer is
+// [u32 footerLen][u32 footerCRC]["NTPSFTR1"]. See segment.go for the
+// byte-exact format and DESIGN.md "Storage" for the invariants.
+//
+// # Determinism and crash consistency
+//
+// Segment bytes are a pure function of the rows appended: dictionaries
+// are built in first-appearance order, all integer columns are
+// delta/varint coded in row order, and nothing wall-clock-dependent is
+// written. A campaign therefore produces bit-identical store
+// directories at any worker count, and a resumed campaign (ResetTo a
+// checkpointed Manifest) rewrites exactly the segments the
+// uninterrupted run would have.
+//
+// Writes are torn-write safe: a segment is staged to a .tmp file and
+// renamed into place before the manifest is rewritten, so a crash
+// leaves either a stray .tmp, a sealed-but-unmanifested .seg, or a
+// stale manifest — Open drops all three forms of unsealed tail and
+// recovers the longest valid manifest prefix. Compaction retires its
+// inputs (rename to .retired) instead of deleting them, so ResetTo can
+// rewind to a checkpoint taken before a compaction that consumed its
+// segments; Seal garbage-collects retired files once a run completes.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ntpscan/internal/obs"
+	"ntpscan/internal/zgrab"
+)
+
+// manifestName is the store's durable segment list.
+const manifestName = "MANIFEST.json"
+
+// castagnoli is the CRC-32C table shared by blocks, footers, and
+// whole-file checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcOf is the whole-buffer CRC-32C.
+func crcOf(data []byte) uint32 { return crc32.Checksum(data, castagnoli) }
+
+// Options tunes a store.
+type Options struct {
+	// Obs, when non-nil, registers the store's metric families there
+	// (segments/blocks/bytes written, compactions, blocks read and
+	// skipped). Nil disables metrics.
+	Obs *obs.Registry
+	// CompactEvery is the compaction cadence K: at every slice s with
+	// (s+1)%K == 0 the pending L0 segments are merged into one L1
+	// segment. 0 uses the default (8); negative disables compaction.
+	CompactEvery int
+}
+
+// DefaultCompactEvery is the compaction cadence when Options leaves it
+// zero: with the campaign's 96 collection slices it yields 12 L1
+// segments and no residual L0 tail.
+const DefaultCompactEvery = 8
+
+func (o *Options) compactEvery() int {
+	switch {
+	case o.CompactEvery < 0:
+		return 0
+	case o.CompactEvery == 0:
+		return DefaultCompactEvery
+	}
+	return o.CompactEvery
+}
+
+// SegmentInfo is one live segment's manifest entry. CRC32 covers the
+// whole file, so a manifest pins the exact bytes of every segment it
+// lists.
+type SegmentInfo struct {
+	Name    string `json:"name"`
+	Level   int    `json:"level"`
+	SliceLo int    `json:"slice_lo"`
+	SliceHi int    `json:"slice_hi"`
+	Rows    int64  `json:"rows"`
+	Size    int64  `json:"size"`
+	CRC32   uint32 `json:"crc32"`
+}
+
+// Manifest is the store's durable state: the ordered live segment
+// list. It is plain data — campaign checkpoints embed it (replacing
+// the fragile byte offset JSONL resume relied on) and ResetTo rewinds
+// a directory to it.
+type Manifest struct {
+	Version  int           `json:"version"`
+	Segments []SegmentInfo `json:"segments,omitempty"`
+}
+
+// clone deep-copies the manifest.
+func (m Manifest) clone() Manifest {
+	out := Manifest{Version: m.Version}
+	out.Segments = append([]SegmentInfo(nil), m.Segments...)
+	return out
+}
+
+// Store is an open store directory. Methods are not safe for
+// concurrent use: the campaign appends at drain barriers and queries
+// run against quiescent stores.
+type Store struct {
+	dir string
+	opt Options
+	met *Metrics
+	man Manifest
+	// nextSlice is the lowest slice id AppendSlice accepts — appends
+	// are strictly ordered, like the collection slices that feed them.
+	nextSlice int
+}
+
+// Open opens (creating if needed) the store directory and recovers it
+// to a consistent state: manifest entries are validated against the
+// files on disk (size and whole-file CRC), the manifest is truncated
+// at the first invalid entry, and unsealed strays (.tmp files and
+// segments the manifest does not list) are deleted. Retired compaction
+// inputs are kept for ResetTo.
+func Open(dir string, opt Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opt: opt}
+	if opt.Obs != nil {
+		s.met = NewMetrics(opt.Obs)
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover loads MANIFEST.json, keeps its longest valid prefix, and
+// removes unsealed strays.
+func (s *Store) recover() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	switch {
+	case os.IsNotExist(err):
+		s.man = Manifest{Version: 1}
+	case err != nil:
+		return fmt.Errorf("store: %w", err)
+	default:
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			// A torn manifest write cannot happen (atomic rename), but a
+			// corrupted file must not brick the directory: start empty.
+			m = Manifest{Version: 1}
+		}
+		kept := m.Segments[:0]
+		for _, si := range m.Segments {
+			if s.restoreSegment(si) != nil {
+				break // truncate at the first invalid entry
+			}
+			kept = append(kept, si)
+		}
+		m.Segments = kept
+		if m.Version == 0 {
+			m.Version = 1
+		}
+		s.man = m
+	}
+	live := make(map[string]bool, len(s.man.Segments))
+	for _, si := range s.man.Segments {
+		live[si.Name] = true
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case name == manifestName, strings.HasSuffix(name, retiredSuffix):
+			// Keep: the manifest, and retired compaction inputs (ResetTo
+			// may need to resurrect them).
+		case strings.HasSuffix(name, ".seg") && live[name]:
+			// Sealed and manifested.
+		default:
+			// Unsealed tail: a staged .tmp, a sealed segment the crash
+			// beat the manifest write to, or a truncated entry dropped
+			// above. All are rewritten by the resumed run.
+			os.Remove(filepath.Join(s.dir, name))
+		}
+	}
+	s.nextSlice = s.man.maxSliceHi() + 1
+	return s.persistManifest()
+}
+
+// maxSliceHi is the highest slice any live segment covers (-1 when
+// empty).
+func (m Manifest) maxSliceHi() int {
+	hi := -1
+	for _, si := range m.Segments {
+		if si.SliceHi > hi {
+			hi = si.SliceHi
+		}
+	}
+	return hi
+}
+
+// restoreSegment makes a manifest entry live again: if its file is
+// missing but a retired copy exists (a crash landed between a
+// compaction retiring its inputs and committing the merged manifest),
+// the retired copy is renamed back, then the entry is validated.
+func (s *Store) restoreSegment(si SegmentInfo) error {
+	path := filepath.Join(s.dir, si.Name)
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		if err := os.Rename(path+retiredSuffix, path); err != nil {
+			return fmt.Errorf("store: segment %s is gone (%w)", si.Name, err)
+		}
+	}
+	return s.validSegment(si)
+}
+
+// validSegment verifies a manifest entry against its file: size and
+// whole-file CRC must match.
+func (s *Store) validSegment(si SegmentInfo) error {
+	data, err := os.ReadFile(filepath.Join(s.dir, si.Name))
+	if err != nil {
+		return fmt.Errorf("store: segment %s: %w", si.Name, err)
+	}
+	if int64(len(data)) != si.Size {
+		return fmt.Errorf("store: segment %s: size %d, manifest %d", si.Name, len(data), si.Size)
+	}
+	if crc := crc32.Checksum(data, castagnoli); crc != si.CRC32 {
+		return fmt.Errorf("store: segment %s: crc %08x, manifest %08x", si.Name, crc, si.CRC32)
+	}
+	return nil
+}
+
+// Manifest returns a deep copy of the live segment list, suitable for
+// embedding in a campaign checkpoint.
+func (s *Store) Manifest() Manifest {
+	return s.man.clone()
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// AppendSlice writes one immutable L0 segment holding the slice's
+// capture events and scan results (in that block order), then runs the
+// compaction policy. Empty slices write no segment but still drive
+// compaction, so the segment layout is a pure function of the appended
+// data. Slices must arrive in strictly increasing order.
+func (s *Store) AppendSlice(slice int, caps []CaptureRow, results []*zgrab.Result) error {
+	if slice < s.nextSlice {
+		return fmt.Errorf("store: slice %d appended out of order (next %d)", slice, s.nextSlice)
+	}
+	s.nextSlice = slice + 1
+	if len(caps) > 0 || len(results) > 0 {
+		sb := newSegBuilder()
+		for _, c := range caps {
+			sb.addCapture(c, slice)
+		}
+		sb.flushCaptures()
+		for _, r := range results {
+			if err := sb.addResult(r, slice); err != nil {
+				return err
+			}
+		}
+		if err := sb.flushResults(); err != nil {
+			return err
+		}
+		name := fmt.Sprintf("seg-L0-%05d.seg", slice)
+		if err := s.writeSegment(name, 0, sb); err != nil {
+			return err
+		}
+	}
+	return s.maybeCompact(slice)
+}
+
+// AppendResults appends a batch of scan results outside a sliced
+// campaign (e.g. a standalone v6scan run): each call becomes one
+// segment on the next synthetic slice.
+func (s *Store) AppendResults(results []*zgrab.Result) error {
+	return s.AppendSlice(s.nextSlice, nil, results)
+}
+
+// writeSegment finalises the builder, stages the file, renames it into
+// place, and then commits it to the manifest — in that order, so a
+// crash can only ever leave an unsealed tail.
+func (s *Store) writeSegment(name string, level int, sb *segBuilder) error {
+	data, rows, err := sb.finish()
+	if err != nil {
+		return err
+	}
+	if err := s.writeFileAtomic(name, data); err != nil {
+		return err
+	}
+	si := SegmentInfo{
+		Name:    name,
+		Level:   level,
+		SliceLo: sb.sliceLo,
+		SliceHi: sb.sliceHi,
+		Rows:    rows,
+		Size:    int64(len(data)),
+		CRC32:   crc32.Checksum(data, castagnoli),
+	}
+	s.man.Segments = append(s.man.Segments, si)
+	sort.SliceStable(s.man.Segments, func(i, j int) bool {
+		return s.man.Segments[i].SliceLo < s.man.Segments[j].SliceLo
+	})
+	if s.met != nil {
+		s.met.SegmentsWritten.Inc()
+		s.met.BlocksWritten.Add(int64(len(sb.blocks)))
+		s.met.BytesWritten.Add(int64(len(data)))
+	}
+	return s.persistManifest()
+}
+
+// writeFileAtomic stages data to name.tmp and renames it into place.
+func (s *Store) writeFileAtomic(name string, data []byte) error {
+	tmp := filepath.Join(s.dir, name+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// persistManifest rewrites MANIFEST.json atomically.
+func (s *Store) persistManifest() error {
+	data, err := json.Marshal(s.man)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return s.writeFileAtomic(manifestName, append(data, '\n'))
+}
+
+// ResetTo rewinds the directory to a checkpointed manifest: every
+// listed segment is restored (resurrecting retired compaction inputs
+// if needed) and re-validated, everything else — later segments,
+// later compactions, leftover retired files — is deleted. After
+// ResetTo the store accepts appends exactly as it did when the
+// checkpoint was taken, so a resumed campaign reproduces the
+// uninterrupted run's directory byte-for-byte.
+func (s *Store) ResetTo(m Manifest) error {
+	for _, si := range m.Segments {
+		// A segment consumed by a post-checkpoint compaction is
+		// resurrected from its retired copy.
+		if err := s.restoreSegment(si); err != nil {
+			return fmt.Errorf("store: reset: %w", err)
+		}
+	}
+	keep := make(map[string]bool, len(m.Segments)+1)
+	keep[manifestName] = true
+	for _, si := range m.Segments {
+		keep[si.Name] = true
+	}
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range ents {
+		if !keep[e.Name()] {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+	s.man = m.clone()
+	if s.man.Version == 0 {
+		s.man.Version = 1
+	}
+	s.nextSlice = s.man.maxSliceHi() + 1
+	return s.persistManifest()
+}
+
+// Seal marks the run complete: retired compaction inputs are garbage-
+// collected (no checkpoint taken before this point will be resumed
+// past a completed run). The store remains readable and appendable.
+func (s *Store) Seal() error {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), retiredSuffix) {
+			os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+	return nil
+}
+
+// Rows returns the total live row count by kind, from the manifest and
+// footers (no block reads).
+func (s *Store) Rows() (captures, results int64, err error) {
+	for _, si := range s.man.Segments {
+		seg, _, err := s.openSegment(si)
+		if err != nil {
+			return 0, 0, err
+		}
+		for _, bi := range seg.blocks {
+			switch bi.Kind {
+			case KindCaptures:
+				captures += int64(bi.Rows)
+			case KindResults:
+				results += int64(bi.Rows)
+			}
+		}
+	}
+	return captures, results, nil
+}

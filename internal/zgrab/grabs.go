@@ -143,25 +143,87 @@ func (jw *JSONLWriter) Count() int {
 	return jw.n
 }
 
-// ReadJSONL parses results back from a JSONL stream. Repeated string
-// fields (module names, statuses, fingerprints, titles, banners) are
-// canonicalised through the shared intern table, so a re-read dataset
-// retains one copy per distinct value instead of one per line.
-func ReadJSONL(r io.Reader) ([]*Result, error) {
+// DecodeJSONL streams results from a JSONL reader through fn, one at
+// a time — no whole-file slice is ever built, so arbitrarily large
+// result files decode in constant memory. Repeated string fields
+// (module names, statuses, fingerprints, titles, banners) are
+// canonicalised through the shared intern table before fn sees them.
+func DecodeJSONL(r io.Reader, fn func(*Result) error) error {
 	dec := json.NewDecoder(r)
-	var out []*Result
 	for {
 		res := &Result{}
 		if err := dec.Decode(res); err != nil {
 			if err == io.EOF {
-				return out, nil
+				return nil
 			}
-			return nil, err
+			return err
 		}
 		res.internStrings()
-		out = append(out, res)
+		if err := fn(res); err != nil {
+			return err
+		}
 	}
 }
+
+// ReadJSONL parses results back from a JSONL stream into one slice;
+// callers that can process incrementally should prefer DecodeJSONL.
+func ReadJSONL(r io.Reader) ([]*Result, error) {
+	var out []*Result
+	err := DecodeJSONL(r, func(res *Result) error {
+		out = append(out, res)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// grabPayload is exactly the module-specific grab surface of a Result,
+// marshalled as one compact JSON object: the columnar store keeps the
+// envelope fields in typed columns and this payload as an opaque
+// per-row value.
+type grabPayload struct {
+	HTTP *HTTPGrab `json:"http,omitempty"`
+	TLS  *TLSGrab  `json:"tls,omitempty"`
+	SSH  *SSHGrab  `json:"ssh,omitempty"`
+	MQTT *MQTTGrab `json:"mqtt,omitempty"`
+	AMQP *AMQPGrab `json:"amqp,omitempty"`
+	CoAP *CoAPGrab `json:"coap,omitempty"`
+}
+
+// AppendGrabs appends the result's module-specific payload to buf as
+// one JSON object, or appends nothing when the result carries no grab.
+func (r *Result) AppendGrabs(buf []byte) ([]byte, error) {
+	if r.HTTP == nil && r.TLS == nil && r.SSH == nil &&
+		r.MQTT == nil && r.AMQP == nil && r.CoAP == nil {
+		return buf, nil
+	}
+	b, err := json.Marshal(grabPayload{r.HTTP, r.TLS, r.SSH, r.MQTT, r.AMQP, r.CoAP})
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, b...), nil
+}
+
+// SetGrabs restores the grab pointers from AppendGrabs bytes; empty
+// input means no grab.
+func (r *Result) SetGrabs(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var g grabPayload
+	if err := json.Unmarshal(data, &g); err != nil {
+		return err
+	}
+	r.HTTP, r.TLS, r.SSH, r.MQTT, r.AMQP, r.CoAP = g.HTTP, g.TLS, g.SSH, g.MQTT, g.AMQP, g.CoAP
+	return nil
+}
+
+// Intern canonicalises the result's vocabulary-bounded strings through
+// the shared intern table; ReadJSONL and DecodeJSONL apply it
+// automatically, the columnar store's row decoder calls it directly.
+func (r *Result) Intern() { r.internStrings() }
 
 // internStrings replaces the result's vocabulary-bounded string fields
 // with their canonical interned instances.
