@@ -1,8 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench bench-compare profiles chaos \
-	fuzz-smoke cover cover-gate
+.PHONY: all check vet build test race bench bench-compare bench-scale \
+	profiles chaos fuzz-smoke cover cover-gate
 
 all: check
 
@@ -27,10 +27,15 @@ race:
 # fixed seed matrix: the netsim fault engine, the zgrab retry/breaker
 # machinery, campaign checkpoint/resume, the end-to-end chaos campaigns
 # in internal/chaos, and the metric conservation invariants in
-# internal/obs. NTPSCAN_CHAOS_SEEDS overrides the seeds.
+# internal/obs. NTPSCAN_CHAOS_SEEDS overrides the seeds. A second leg
+# re-runs the end-to-end campaign suites for one seed at 10x world
+# scale against the lazy (arena-materialized) world — same faults, same
+# oracles, sub-linear memory path.
 chaos:
 	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
 		$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/zgrab/ ./internal/core/ ./internal/obs/ ./internal/store/
+	NTPSCAN_CHAOS_SEEDS=23 NTPSCAN_CHAOS_SCALE=10 NTPSCAN_CHAOS_LAZY=1 \
+		$(GO) test -race ./internal/chaos/ ./internal/obs/
 
 # fuzz-smoke runs every fuzz target for a short burst (FUZZTIME each,
 # default 10s) on top of its committed seed corpus under testdata/fuzz.
@@ -101,6 +106,17 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -compare -benchtime 1x -out BENCH_pipeline.json
 	$(GO) run ./cmd/benchjson -pkg ./internal/store/ -bench '$(STORE_BENCH)' \
 		-compare -benchtime 1x -out BENCH_store.json
+
+# bench-scale runs only the lazy-world memory scale ladder
+# (BenchmarkCampaignScale, SCALE=1/10/100 at fixed measurement effort)
+# and diffs it against the committed BENCH_pipeline.json. Two gates
+# fire here: the benchmark itself fails if SCALE=100 retains >= 20x the
+# SCALE=1 live heap (the sub-linear-memory contract), and -compare
+# fails if any rung's live_heap_bytes regresses beyond the heap
+# threshold. Wired into ci.sh behind NTPSCAN_BENCH_COMPARE=1.
+bench-scale:
+	$(GO) run ./cmd/benchjson -bench 'BenchmarkCampaignScale$$' \
+		-compare -benchtime 1x -out BENCH_pipeline.json
 
 # profiles emits pprof CPU+heap profiles and an execution trace for
 # BenchmarkFullCampaign into ./profiles/ — the measurement feeding the

@@ -12,6 +12,7 @@ package ntpscan_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -88,6 +89,73 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 				s := ntpscan.RunExperiments(opts)
 				if s.P.Summary.Set().Len() == 0 {
 					b.Fatal("empty run")
+				}
+			}
+		})
+	}
+}
+
+// liveHeap returns the collected live-heap size after a full GC.
+func liveHeap() float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc)
+}
+
+// scaleHeap shares the measured live-heap growth across the SCALE
+// ladder's sub-benchmarks so the top rung can assert sub-linear memory
+// against the bottom one.
+var scaleHeap = map[int]float64{}
+
+// BenchmarkCampaignScale climbs the memory scale ladder: the
+// address-only eyeball population (the bulk of the world) grows
+// 1x/10x/100x while the reachable population — and therefore the
+// campaign's work — stays fixed. The lazy world derives that population
+// on demand through the bounded shard arenas instead of building it,
+// so the live heap retained by a run must grow sub-linearly: the
+// SCALE=100 rung fails if it holds >= 20x the SCALE=1 rung's bytes.
+// The per-rung live-heap-B metric is the number recorded in
+// BENCH_pipeline.json.
+func BenchmarkCampaignScale(b *testing.B) {
+	// One throwaway run warms process-global state (the intern table,
+	// lazily-built profile tables) so each rung's live-heap delta
+	// measures only what that run retains — and so the numbers match
+	// whether the ladder runs alone (make bench-scale) or after the
+	// other campaign benchmarks (make bench).
+	warm := benchOptions()
+	warm.DeviceScale /= 5
+	warm.AddrScale /= 3
+	warm.LazyWorld = true
+	warm.CaptureBudget = 20000
+	ntpscan.CollectExperiments(warm)
+	for _, scale := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("scale=%d", scale), func(b *testing.B) {
+			opts := benchOptions()
+			opts.DeviceScale /= 5
+			opts.AddrScale = opts.AddrScale / 3 * float64(scale)
+			opts.LazyWorld = true
+			// Fixed measurement effort against a growing world: without
+			// the pin, the default budget tracks client mass and the
+			// retained datasets scale linearly by construction.
+			opts.CaptureBudget = 20000
+			b.ReportAllocs()
+			var live float64
+			for i := 0; i < b.N; i++ {
+				before := liveHeap()
+				s := ntpscan.CollectExperiments(opts)
+				if s.HitFullSum.Set().Len() == 0 {
+					b.Fatal("empty collection")
+				}
+				live = liveHeap() - before
+				runtime.KeepAlive(s)
+			}
+			b.ReportMetric(live, "live-heap-B")
+			scaleHeap[scale] = live
+			if base, ok := scaleHeap[1]; scale == 100 && ok && base > 0 {
+				if ratio := live / base; ratio >= 20 {
+					b.Fatalf("SCALE=100 retains %.0f live-heap bytes, %.1fx the SCALE=1 rung (%.0f); the ladder requires < 20x",
+						live, ratio, base)
 				}
 			}
 		})

@@ -20,4 +20,8 @@ make cover-gate
 # time unreliable; allocation counts are what the gate really pins).
 if [ "${NTPSCAN_BENCH_COMPARE:-0}" = "1" ]; then
   make bench-compare
+  # Scale-ladder gate: SCALE=100 must hold under 20x the SCALE=1 live
+  # heap, and no rung's live_heap_bytes may regress against the
+  # committed baseline.
+  make bench-scale
 fi

@@ -35,6 +35,11 @@ type Bench struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// LiveHeapBytes is the custom live-heap-B metric reported by the
+	// scale ladder (BenchmarkCampaignScale): bytes of heap a run
+	// retains after GC, the resident-memory number the sub-linear
+	// ladder asserts on.
+	LiveHeapBytes float64 `json:"live_heap_bytes,omitempty"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -48,11 +53,12 @@ type Report struct {
 
 // Host describes the machine the "after" numbers come from.
 type Host struct {
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
-	CPUModel  string `json:"cpu_model,omitempty"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model,omitempty"`
 }
 
 // Section pairs benchmark numbers with the host they ran on.
@@ -61,7 +67,7 @@ type Section struct {
 	Results []Bench `json:"results"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(?:\s+(\d+(?:\.\d+)?) live-heap-B)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func parseBench(out string) []Bench {
 	var res []Bench
@@ -73,10 +79,13 @@ func parseBench(out string) []Bench {
 		b := Bench{Name: m[1]}
 		b.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
 		if m[3] != "" {
-			b.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			b.LiveHeapBytes, _ = strconv.ParseFloat(m[3], 64)
 		}
 		if m[4] != "" {
-			b.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
 		}
 		res = append(res, b)
 	}
@@ -99,13 +108,14 @@ func cpuModel() string {
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output file (and -compare baseline)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
-	pattern := flag.String("bench", "BenchmarkFullCampaign$|BenchmarkCampaignWorkers$|BenchmarkTable2ScanResults$", "benchmark regexp")
+	pattern := flag.String("bench", "BenchmarkFullCampaign$|BenchmarkCampaignWorkers$|BenchmarkCampaignScale$|BenchmarkTable2ScanResults$", "benchmark regexp")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (fixed so runs are comparable)")
 	baselineKind := flag.String("baseline", "pipeline", "embedded \"before\" section: pipeline (the serial-pipeline numbers) or none (cross-format comparisons live side by side in the \"after\" results)")
 	note := flag.String("note", "", "override the report note")
 	compare := flag.Bool("compare", false, "compare a fresh run against the committed baseline's \"after\" block and exit non-zero on regression")
 	threshold := flag.Float64("threshold", 0.10, "allowed fractional regression for bytes/op and allocs/op in -compare mode")
 	nsThreshold := flag.Float64("ns-threshold", 1.00, "allowed fractional regression for ns/op in -compare mode (single-iteration wall time on shared CI hosts varies close to 2x; allocation counts are the deterministic gate)")
+	heapThreshold := flag.Float64("heap-threshold", 0.25, "allowed fractional regression for live_heap_bytes in -compare mode (post-GC retained heap is near-deterministic but GC timing adds jitter)")
 	flag.Parse()
 
 	// The timed run is always plain `go test` — never -race, whose
@@ -125,15 +135,16 @@ func main() {
 	}
 
 	if *compare {
-		os.Exit(compareBaseline(*out, results, *threshold, *nsThreshold))
+		os.Exit(compareBaseline(*out, results, *threshold, *nsThreshold, *heapThreshold))
 	}
 
 	host := Host{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		CPUModel:  cpuModel(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
 	}
 	before := Section{Host: baselineHost, Results: baseline}
 	if *baselineKind == "none" {
@@ -148,7 +159,10 @@ func main() {
 			"— see DESIGN.md \"Memory discipline\"), both NTPSCAN_SCALE=1. The single-core win comes from " +
 			"eliminating those sleeps; additional multi-core scaling (BenchmarkCampaignWorkers) requires " +
 			"NumCPU > 1 — on a 1-CPU host the worker variants measure coordination overhead only. " +
-			"Output is bit-identical across worker counts (see TestCampaignDeterministicAcrossWorkers).",
+			"Output is bit-identical across worker counts (see TestCampaignDeterministicAcrossWorkers). " +
+			"BenchmarkCampaignScale climbs the lazy-world memory ladder: the address-only population grows " +
+			"1x/10x/100x at fixed measurement effort, and the retained live heap (live_heap_bytes) must stay " +
+			"sub-linear — SCALE=100 under 20x SCALE=1, asserted inside the benchmark itself.",
 		Before: before,
 		After: Section{
 			Host:    fmt.Sprintf("%s, %s/%s, %d CPU", host.CPUModel, host.GOOS, host.GOARCH, host.NumCPU),
@@ -157,6 +171,10 @@ func main() {
 	}
 	if *note != "" {
 		report.Note = *note
+	}
+	if host.NumCPU == 1 {
+		report.Note += " WARNING: recorded on a single-CPU host (GOMAXPROCS=" +
+			strconv.Itoa(host.GOMAXPROCS) + "); parallel-speedup numbers measure coordination overhead, not scaling."
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -177,7 +195,7 @@ func main() {
 // absent from the baseline (old runs without -benchmem columns) are
 // skipped; benchmarks present on only one side are reported but not
 // failed, so adding or retiring a benchmark does not break the gate.
-func compareBaseline(path string, fresh []Bench, threshold, nsThreshold float64) int {
+func compareBaseline(path string, fresh []Bench, threshold, nsThreshold, heapThreshold float64) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: reading baseline: %v\n", err)
@@ -214,6 +232,7 @@ func compareBaseline(path string, fresh []Bench, threshold, nsThreshold float64)
 			continue
 		}
 		check(f.Name, "ns/op", f.NsPerOp, b.NsPerOp, nsThreshold)
+		check(f.Name, "live-heap-B", f.LiveHeapBytes, b.LiveHeapBytes, heapThreshold)
 		check(f.Name, "B/op", f.BytesPerOp, b.BytesPerOp, threshold)
 		check(f.Name, "allocs/op", f.AllocsPerOp, b.AllocsPerOp, threshold)
 	}

@@ -37,14 +37,30 @@ func Seeds() []uint64 {
 }
 
 // Config is the canonical chaos-scale pipeline configuration for a
-// seed: small world scales, retries and the circuit breaker on.
+// seed: small world scales, retries and the circuit breaker on. Two
+// environment knobs widen the matrix without touching the scenario
+// definition: NTPSCAN_CHAOS_SCALE multiplies the address-only eyeball
+// population, and NTPSCAN_CHAOS_LAZY=1 derives that population through
+// the shard arenas instead of building it (`make chaos` runs one seed
+// at SCALE=10 against the lazy world). The capture budget is pinned, so
+// scaled runs do the same campaign work against a bigger universe. A
+// malformed scale panics, like a malformed seed matrix.
 func Config(seed uint64) core.Config {
+	scale := 1.0
+	if env := os.Getenv("NTPSCAN_CHAOS_SCALE"); env != "" {
+		f, err := strconv.ParseFloat(env, 64)
+		if err != nil || f <= 0 {
+			panic(fmt.Sprintf("chaos: bad NTPSCAN_CHAOS_SCALE %q", env))
+		}
+		scale = f
+	}
 	return core.Config{
 		Seed: seed,
 		World: world.Config{
 			DeviceScale: 1e-3,
-			AddrScale:   1e-6,
+			AddrScale:   1e-6 * scale,
 			ASScale:     0.02,
+			Lazy:        os.Getenv("NTPSCAN_CHAOS_LAZY") == "1",
 		},
 		Workers:       8,
 		CaptureBudget: 2500,

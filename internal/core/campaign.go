@@ -27,6 +27,7 @@ import (
 	"ntpscan/internal/analysis"
 	"ntpscan/internal/obs"
 	"ntpscan/internal/store"
+	"ntpscan/internal/world"
 	"ntpscan/internal/zgrab"
 )
 
@@ -37,11 +38,15 @@ type CapRecord struct {
 	Country string     `json:"country"`
 }
 
-// ShardState is one collection shard's rng stream positions.
+// ShardState is one collection shard's rng stream positions plus its
+// device arena's resident set. The arena snapshot is IDs only — slot
+// contents re-derive from the world seed on restore — so checkpoints
+// stay small however much device state is resident.
 type ShardState struct {
-	Vol   [4]uint64 `json:"vol"`
-	Resp  [4]uint64 `json:"resp"`
-	Ports [4]uint64 `json:"ports"`
+	Vol   [4]uint64         `json:"vol"`
+	Resp  [4]uint64         `json:"resp"`
+	Ports [4]uint64         `json:"ports"`
+	Arena *world.ArenaState `json:"arena,omitempty"`
 }
 
 // Checkpoint is a resumable snapshot of a campaign, taken at a slice
@@ -363,6 +368,7 @@ func (p *Pipeline) checkpoint(next int, shards []*collectShard, scanner *zgrab.S
 			Vol:   sh.vol.State(),
 			Resp:  sh.resp.State(),
 			Ports: sh.ports.State(),
+			Arena: sh.arena.Snapshot(),
 		}
 	}
 	for i, done := range p.respCaptured {
@@ -389,6 +395,19 @@ func (p *Pipeline) restore(cp *Checkpoint) error {
 	}
 	if cp.NextSlice < 1 || cp.NextSlice > collectSlices {
 		return fmt.Errorf("core: checkpoint slice %d out of range", cp.NextSlice)
+	}
+	// Arena snapshots only restore onto the same byte budget: slot
+	// counts must match or the clock hand and resident set misread.
+	// Probe with a throwaway arena so the capacity math lives in one
+	// place (the world package).
+	if len(cp.Shards) > 0 {
+		capSlots := p.W.NewMaterializer(p.Cfg.ArenaBytes).Capacity()
+		for i := range cp.Shards {
+			if st := cp.Shards[i].Arena; st != nil && len(st.Slots) != capSlots {
+				return fmt.Errorf("core: shard %d arena snapshot has %d slots, budget %d gives %d (ArenaBytes changed?)",
+					i, len(st.Slots), p.Cfg.ArenaBytes, capSlots)
+			}
+		}
 	}
 	if p.captures.Load() != 0 {
 		return fmt.Errorf("core: resume requires a fresh pipeline")

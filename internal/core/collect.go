@@ -27,13 +27,26 @@ type collectShard struct {
 	// ntp holds per-vantage capture servers for the codec fast path,
 	// indexed by VantageServer.idx; their hooks record into this shard.
 	ntp []*ntp.Server
+	// arena bounds the shard's resident device state: sampled clients
+	// are materialized on demand and clock-evicted when the byte budget
+	// fills. One arena per shard keeps lookups lock-free and the
+	// hit/miss sequence a pure function of the shard's draw stream, so
+	// the folded counters stay byte-identical across worker counts.
+	arena *world.Materializer
 	// reqBuf/respBuf are the shard's reusable NTP wire buffers: the
-	// codec fast path encodes every request and receives every response
-	// here, so steady-state captures allocate nothing. Owned by exactly
-	// one shard, never shared — pooling per shard keeps the buffers out
-	// of any cross-goroutine ordering.
+	// codec fast path encodes every request slab and receives every
+	// response slab here, so steady-state captures allocate nothing.
+	// Owned by exactly one shard, never shared — pooling per shard keeps
+	// the buffers out of any cross-goroutine ordering.
 	reqBuf  []byte
 	respBuf []byte
+	// pkts/clients/oks are the volume batch path's per-slice scratch:
+	// the slice's sampled clients and their request/response bookkeeping
+	// for one RespondBatch call. High-water capacity is kept across
+	// slices.
+	pkts    []ntp.Packet
+	clients []netip.AddrPort
+	oks     []bool
 	// feed buffers this shard's captures within the current slice;
 	// preallocated from the capture budget so steady-state appends never
 	// grow it.
@@ -67,6 +80,7 @@ func (p *Pipeline) makeCollectShards() []*collectShard {
 			vol:     p.rng.DeriveIndexed("volume/shard", i),
 			resp:    p.rng.DeriveIndexed("responsive/shard", i),
 			ports:   p.rng.DeriveIndexed("ports/shard", i),
+			arena:   p.W.NewMaterializer(p.Cfg.ArenaBytes),
 			ntp:     make([]*ntp.Server, len(p.Servers)),
 			reqBuf:  make([]byte, 0, ntp.PacketSize),
 			respBuf: make([]byte, 0, ntp.PacketSize),
@@ -77,6 +91,13 @@ func (p *Pipeline) makeCollectShards() []*collectShard {
 			sh.vol.SetState(st.Vol)
 			sh.resp.SetState(st.Resp)
 			sh.ports.SetState(st.Ports)
+			if st.Arena != nil {
+				// Capacity was validated against the budget in restore();
+				// a failure here is an invariant violation, not bad input.
+				if err := sh.arena.Restore(st.Arena); err != nil {
+					panic("core: arena restore after validation: " + err.Error())
+				}
+			}
 		}
 		for _, vs := range p.Servers {
 			vi := vs.idx
@@ -217,6 +238,13 @@ func (p *Pipeline) collectFrom(startSlice int, batch func([]netip.Addr), drain f
 			p.Monitor.Check(vs.ID, p.W.Fabric().HostUp(vs.Addr, clock.Now()))
 		}
 		p.runShards(shards, workers, s, collectSlices, quotas)
+		// Drain barrier: merge per-shard buffers and fold the arenas'
+		// activity deltas into the obs counters, both in ascending shard
+		// order. Folding here — before telemetry and checkpoints run in
+		// onSlice — keeps every shard's pending delta at zero whenever a
+		// snapshot is cut, so resumed runs repeat the counter sequence
+		// exactly.
+		var resident int64
 		for _, sh := range shards {
 			if batch != nil && len(sh.feed) > 0 {
 				batch(sh.feed)
@@ -226,7 +254,13 @@ func (p *Pipeline) collectFrom(startSlice int, batch func([]netip.Addr), drain f
 				p.capLog = append(p.capLog, sh.capLog...)
 				sh.capLog = sh.capLog[:0]
 			}
+			st := sh.arena.TakeStats()
+			p.met.arenaMat.Add(int64(st.Materializations))
+			p.met.arenaHits.Add(int64(st.Hits))
+			p.met.arenaEvict.Add(int64(st.Evictions))
+			resident += int64(sh.arena.ResidentBytes())
 		}
+		p.met.arenaResident.Set(resident)
 		if drain != nil {
 			drain()
 		}
@@ -323,13 +357,20 @@ func (p *Pipeline) runShardSlice(sh *collectShard, s, slices, nshards int, quota
 			sn++
 		}
 		sh.volumeStats = true
-		for i := 0; i < sn; i++ {
-			dev := p.W.SampleClient(q.vs.Country, sh.vol)
-			if dev == nil {
-				continue
+		if p.Cfg.FullPacketNTP {
+			// Full UDP exchanges stay per-event: each sync is its own
+			// round-trip on the fabric.
+			for i := 0; i < sn; i++ {
+				gid := p.W.SampleClientID(q.vs.Country, sh.vol)
+				if gid < 0 {
+					continue
+				}
+				dev := sh.arena.Device(gid)
+				addr := p.W.CurrentAddr(dev, clock.Now())
+				p.captureVia(sh, q.vs, addr)
 			}
-			addr := p.W.CurrentAddr(dev, clock.Now())
-			p.captureVia(sh, q.vs, addr)
+		} else {
+			p.volumeBatch(sh, q.vs, sn)
 		}
 		sh.volumeStats = false
 	}
@@ -397,25 +438,21 @@ func (p *Pipeline) responsive() []*world.Device {
 
 // expectedDistinct estimates the distinct-address yield of the
 // address-only population (devices x epochs), for auto-sizing the
-// capture budget.
+// capture budget. It reads the world's precomputed per-country epoch
+// masses — no device enumeration, so it works identically on lazy
+// worlds where the population is never resident.
 func (p *Pipeline) expectedDistinct() int {
-	total := 0
+	var total int64
 	for _, c := range p.W.Countries {
 		if !c.Spec.Vantage {
 			continue
 		}
-		for _, d := range p.W.NTPClients(c.Spec.Code) {
-			e := d.Profile.PrefixEpochs
-			if e < 1 {
-				e = 1
-			}
-			total += e
-		}
+		total += p.W.ClientEpochMass(c.Spec.Code)
 	}
 	if total < 1000 {
 		total = 1000
 	}
-	return total
+	return int(total)
 }
 
 // PerCountrySorted returns Table 7: distinct captured addresses per
@@ -447,8 +484,8 @@ type CountryCount struct {
 // warns static lists suffer from).
 func (p *Pipeline) AdvanceWorld(d time.Duration) {
 	now := p.W.Clock().Advance(d)
-	for _, dev := range p.W.Devices {
-		if dev.Role() != world.RoleAddrOnly && dev.Profile.PrefixEpochs > 1 {
+	for _, dev := range p.W.Reachable() {
+		if dev.Profile.PrefixEpochs > 1 {
 			p.W.CurrentAddr(dev, now)
 		}
 	}
@@ -462,10 +499,17 @@ func (p *Pipeline) AdvanceWorld(d time.Duration) {
 // summary is produced — R&L did not scan.
 func (p *Pipeline) RLCollect(budget int) *analysis.AddrSummary {
 	if budget == 0 {
-		budget = 6 * p.expectedDistinct() // seven months vs four weeks
+		// Seven months vs four weeks. Derived from the campaign budget
+		// (identical when Config.CaptureBudget is unset) so a pinned
+		// budget pins the R&L era with it — fixed measurement effort
+		// stays fixed when only the world grows.
+		budget = 2 * p.captureBudget()
 	}
 	summary := analysis.NewAddrSummary(p.Ctx)
 	r := p.rng.Derive("rl-era")
+	// A private arena keeps the 2022-era walk off the shard arenas (and
+	// out of their obs counters): this runs outside the campaign.
+	arena := p.W.NewMaterializer(p.Cfg.ArenaBytes)
 	countries := make([]string, 0, len(p.W.Countries))
 	for _, c := range p.W.Countries {
 		countries = append(countries, c.Spec.Code)
@@ -473,10 +517,11 @@ func (p *Pipeline) RLCollect(budget int) *analysis.AddrSummary {
 	perCountry := budget / len(countries)
 	for _, code := range countries {
 		for i := 0; i < perCountry; i++ {
-			dev := p.W.SampleClient(code, r)
-			if dev == nil {
+			gid := p.W.SampleClientID(code, r)
+			if gid < 0 {
 				continue
 			}
+			dev := arena.Device(gid)
 			// Population drift: 2022's population misses a quarter of
 			// today's devices (and vice versa, devices retired since).
 			if dev.ID%4 == 0 {

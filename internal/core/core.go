@@ -63,6 +63,16 @@ type Config struct {
 	// experiment definition like Seed — changing it changes the sampled
 	// stream — and bounds the useful collection parallelism.
 	CollectShards int
+	// ArenaBytes is each collection shard's device-arena byte budget
+	// (default 256 KiB). Sampled client devices are materialized on
+	// demand into the arena and evicted clock-wise when it fills, so the
+	// pipeline's resident device state is bounded regardless of how
+	// large the address-only population grows. Arenas run in both eager
+	// and lazy worlds — derivation is identical, so output and telemetry
+	// never depend on World.Lazy. Like CollectShards, the budget is part
+	// of the experiment definition: checkpoints snapshot arena contents
+	// and only resume onto the same budget.
+	ArenaBytes int
 	// Timeout per scan connection; UDPTimeout for connectionless
 	// probes.
 	Timeout    time.Duration
@@ -98,6 +108,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.CollectShards < 1 {
 		c.CollectShards = 32
+	}
+	if c.ArenaBytes < 1 {
+		c.ArenaBytes = 256 << 10
 	}
 	if c.Timeout == 0 {
 		c.Timeout = 50 * time.Millisecond
@@ -403,4 +416,57 @@ func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.
 		return fmt.Errorf("core: vantage %s dropped request", vs.ID)
 	}
 	return nil
+}
+
+// volumeBatch emits n volume-channel events for one vantage through the
+// codec batch path. Per-event semantics — stream draw order (client
+// sample, then source port), the down-vantage drop accounting, and the
+// capture hook sequence — are exactly the per-event captureVia loop's;
+// what the batch buys is that every client in a frozen slice sends the
+// same mode-3 request, so the slab is encoded by stride copy, decoded
+// once, and answered with one RespondBatch call instead of n codec
+// round-trips. FullPacketNTP campaigns never reach here (runShardSlice
+// keeps them on the per-event fabric path).
+func (p *Pipeline) volumeBatch(sh *collectShard, vs *VantageServer, n int) {
+	now := p.W.Clock().Now()
+	fabric := p.W.Fabric()
+	clients := sh.clients[:0]
+	for i := 0; i < n; i++ {
+		gid := p.W.SampleClientID(vs.Country, sh.vol)
+		if gid < 0 {
+			continue
+		}
+		dev := sh.arena.Device(gid)
+		addr := p.W.CurrentAddr(dev, now)
+		// The port draw precedes the health check, exactly like
+		// captureVia: the shard's stream schedule must not depend on the
+		// fault plan's timing.
+		port := 40000 + uint16(sh.ports.Intn(20000))
+		if !fabric.HostUp(vs.Addr, now) {
+			p.met.capDropped.Inc(vs.idx)
+			continue
+		}
+		clients = append(clients, netip.AddrPortFrom(addr, port))
+	}
+	sh.clients = clients
+	if len(clients) == 0 {
+		return
+	}
+	req := ntp.ClientPacket(now)
+	pkts := sh.pkts[:0]
+	for range clients {
+		pkts = append(pkts, req)
+	}
+	sh.pkts = pkts
+	sh.reqBuf = ntp.EncodeBatch(pkts, sh.reqBuf[:0])
+	if cap(sh.oks) < len(clients) {
+		sh.oks = make([]bool, len(clients))
+	}
+	oks := sh.oks[:len(clients)]
+	sh.respBuf, _ = sh.ntp[vs.idx].RespondBatch(clients, sh.reqBuf, sh.respBuf[:0], oks)
+	for i := range oks {
+		if !oks[i] {
+			p.met.capDropped.Inc(vs.idx)
+		}
+	}
 }

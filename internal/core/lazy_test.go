@@ -1,0 +1,82 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestCampaignLazyWorldByteIdentical is the tentpole acceptance check
+// for the lazy world: a full campaign — JSONL scan output and per-slice
+// telemetry stream included — must be byte-for-byte identical whether
+// the address-only population is built eagerly or derived on demand
+// through the shard arenas. World.Lazy is a memory knob, never an
+// experiment knob.
+func TestCampaignLazyWorldByteIdentical(t *testing.T) {
+	run := func(lazy bool) (out, tel []byte, captures int) {
+		cfg := testConfig(11)
+		cfg.World.Lazy = lazy
+		cfg.CaptureBudget = 3000
+		p := NewPipeline(cfg)
+		var o, tw bytes.Buffer
+		if _, err := p.RunCampaign(context.Background(), CampaignOpts{
+			Out: &o, Telemetry: &tw,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return o.Bytes(), tw.Bytes(), p.Captures
+	}
+
+	eOut, eTel, eCaps := run(false)
+	lOut, lTel, lCaps := run(true)
+	if eCaps == 0 {
+		t.Fatal("campaign captured nothing")
+	}
+	if eCaps != lCaps {
+		t.Fatalf("capture counts differ: eager %d, lazy %d", eCaps, lCaps)
+	}
+	if !bytes.Equal(eOut, lOut) {
+		t.Fatal("JSONL scan output differs between eager and lazy worlds")
+	}
+	if !bytes.Equal(eTel, lTel) {
+		t.Fatal("telemetry stream differs between eager and lazy worlds")
+	}
+}
+
+// TestCampaignLazyWorldAcrossWorkers re-runs the worker-count identity
+// check with the lazy world active: per-shard arenas keep the
+// materialization sequence inside each shard's own stream, so worker
+// scheduling must not leak into the dataset or the arena counters.
+func TestCampaignLazyWorldAcrossWorkers(t *testing.T) {
+	run := func(workers int) (uint64, map[string]int64) {
+		cfg := testConfig(11)
+		cfg.World.Lazy = true
+		cfg.Workers = workers
+		cfg.CaptureBudget = 3000
+		p := NewPipeline(cfg)
+		d := p.RunNTPCampaign(context.Background())
+		arena := map[string]int64{
+			"mat":      p.met.arenaMat.Value(),
+			"hits":     p.met.arenaHits.Value(),
+			"evict":    p.met.arenaEvict.Value(),
+			"resident": p.met.arenaResident.Value(),
+		}
+		return datasetDigest(t, d), arena
+	}
+
+	base, arena1 := run(1)
+	if arena1["mat"] == 0 {
+		t.Fatal("campaign never materialized a device through the arenas")
+	}
+	for _, workers := range []int{3, 8} {
+		got, arena := run(workers)
+		if got != base {
+			t.Errorf("workers=%d dataset digest %x, want %x", workers, got, base)
+		}
+		for k, v := range arena1 {
+			if arena[k] != v {
+				t.Errorf("workers=%d arena %s = %d, want %d", workers, k, arena[k], v)
+			}
+		}
+	}
+}

@@ -18,12 +18,26 @@ import (
 //	campaign_captures_total  == scan_submitted_total (campaign feed)
 //	capture_distinct_total_i == PerCountry[vantage i]
 //	ntp_answered_total       == campaign_captures_total (codec path)
+//	world_arena_materializations_total - world_arena_evictions_total
+//	                         == world_arena_resident_bytes / slot size
+//
+// The last is the arena conservation law: every device ever
+// materialized was either evicted or is still resident, and lookups
+// split exactly into hits and materializations. The counters fold
+// per-shard deltas in ascending shard order at each slice's drain
+// barrier, so the whole family is byte-stable across worker counts and
+// across checkpoint/resume.
 type pipelineMetrics struct {
 	captures    *obs.Counter   // capture events, both channels
 	slices      *obs.Counter   // collection slices completed
 	sliceCaps   *obs.Histogram // capture events per slice
 	checkpoints *obs.Counter   // checkpoints taken
 	outBytes    *obs.Gauge     // JSONL output offset
+
+	arenaMat      *obs.Counter // devices materialized into shard arenas
+	arenaHits     *obs.Counter // arena lookups served from residents
+	arenaEvict    *obs.Counter // residents clock-evicted to recycle slots
+	arenaResident *obs.Gauge   // bytes of device state resident, all shards
 
 	capEvents   *obs.CounterVec // volume-channel events per vantage
 	capDistinct *obs.CounterVec // first-seen addresses per vantage
@@ -41,8 +55,16 @@ func newPipelineMetrics(r *obs.Registry) *pipelineMetrics {
 			[]int64{10, 100, 1000, 10000, 100000, 1000000}),
 		checkpoints: r.NewCounter("campaign_checkpoints_total", "checkpoints taken"),
 		outBytes:    r.NewGauge("campaign_out_bytes", "bytes of JSONL scan output written"),
-		ntp:         ntp.NewServerMetrics(r),
-		pool:        ntppool.NewMonitorMetrics(r),
+		arenaMat: r.NewCounter("world_arena_materializations_total",
+			"devices materialized on demand into collection-shard arenas"),
+		arenaHits: r.NewCounter("world_arena_hits_total",
+			"arena lookups served from already-resident devices"),
+		arenaEvict: r.NewCounter("world_arena_evictions_total",
+			"resident devices clock-evicted to recycle arena slots"),
+		arenaResident: r.NewGauge("world_arena_resident_bytes",
+			"bytes of materialized device state resident across all shard arenas"),
+		ntp:  ntp.NewServerMetrics(r),
+		pool: ntppool.NewMonitorMetrics(r),
 	}
 }
 

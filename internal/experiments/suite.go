@@ -42,6 +42,17 @@ type Options struct {
 	// internal/store; readable by cmd/analyze). Attaching the store
 	// does not change the campaign's dataset or tables.
 	StoreDir string
+	// LazyWorld skips the eager device build: the address-only
+	// population is derived on demand through the collection shards'
+	// arenas instead of being resident. Output is bit-identical either
+	// way — the switch only changes memory, which is what lets the
+	// scale ladder climb 100x without a 100x heap.
+	LazyWorld bool
+	// CaptureBudget pins the campaign's volume-channel capture count
+	// (core.Config.CaptureBudget). Zero keeps the default, which scales
+	// with the world's client mass; the scale ladder pins it so
+	// measurement effort stays fixed while only the world grows.
+	CaptureBudget int
 }
 
 func (o *Options) fill() {
@@ -89,9 +100,11 @@ func Run(opts Options) *Suite {
 			DeviceScale: opts.DeviceScale,
 			AddrScale:   opts.AddrScale,
 			ASScale:     opts.ASScale,
+			Lazy:        opts.LazyWorld,
 		},
 		Workers:       opts.Workers,
 		CollectShards: opts.CollectShards,
+		CaptureBudget: opts.CaptureBudget,
 	})
 	s := &Suite{Opts: opts, P: p}
 	ctx := context.Background()
@@ -129,9 +142,11 @@ func CollectOnly(opts Options) *Suite {
 			DeviceScale: opts.DeviceScale,
 			AddrScale:   opts.AddrScale,
 			ASScale:     opts.ASScale,
+			Lazy:        opts.LazyWorld,
 		},
 		Workers:       opts.Workers,
 		CollectShards: opts.CollectShards,
+		CaptureBudget: opts.CaptureBudget,
 	})
 	s := &Suite{Opts: opts, P: p}
 	p.CollectOnly()

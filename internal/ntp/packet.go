@@ -9,6 +9,7 @@
 package ntp
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -123,6 +124,12 @@ func (p *Packet) Encode() []byte {
 // the steady state is zero-alloc (asserted by TestEncodeDecodeZeroAlloc).
 func (p *Packet) AppendEncode(dst []byte) []byte {
 	var b [PacketSize]byte
+	p.encodeTo(b[:])
+	return append(dst, b[:]...)
+}
+
+// encodeTo writes the 48-byte wire form into b[:PacketSize].
+func (p *Packet) encodeTo(b []byte) {
 	b[0] = byte(p.Leap)<<6 | (p.Version&0x7)<<3 | byte(p.Mode)&0x7
 	b[1] = p.Stratum
 	b[2] = byte(p.Poll)
@@ -134,7 +141,63 @@ func (p *Packet) AppendEncode(dst []byte) []byte {
 	binary.BigEndian.PutUint64(b[24:], uint64(p.OriginTime))
 	binary.BigEndian.PutUint64(b[32:], uint64(p.ReceiveTime))
 	binary.BigEndian.PutUint64(b[40:], uint64(p.TransmitTime))
-	return append(dst, b[:]...)
+}
+
+// EncodeBatch appends the wire encodings of ps onto dst as one
+// contiguous slab (len(ps)*PacketSize bytes) and returns the extended
+// slice. Runs of equal headers — the shape the collection fast path
+// produces, since every request within a frozen slice carries the same
+// transmit stamp — are encoded once and then copied stride to stride,
+// which is substantially cheaper than field-by-field serialisation.
+func EncodeBatch(ps []Packet, dst []byte) []byte {
+	if len(ps) == 0 {
+		return dst
+	}
+	off := len(dst)
+	need := len(ps) * PacketSize
+	if cap(dst)-off < need {
+		grown := make([]byte, off, off+need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+need]
+	prev := -1
+	for i := range ps {
+		b := dst[off+i*PacketSize:]
+		if prev >= 0 && ps[i] == ps[prev] {
+			copy(b[:PacketSize], dst[off+prev*PacketSize:])
+			continue
+		}
+		ps[i].encodeTo(b)
+		prev = i
+	}
+	return dst
+}
+
+// DecodeBatch decodes a slab of back-to-back 48-byte headers into ps,
+// one element per stride, and returns the number decoded. ps must have
+// at least len(slab)/PacketSize elements; a trailing partial header or
+// an undecodable stride fails the whole batch with the stride index in
+// the error. Like EncodeBatch, runs of identical strides are decoded
+// once: repeated request templates cost a comparison, not a parse.
+func DecodeBatch(ps []Packet, slab []byte) (int, error) {
+	if len(slab)%PacketSize != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes in slab", ErrShortPacket, len(slab)%PacketSize)
+	}
+	n := len(slab) / PacketSize
+	prev := -1
+	for i := 0; i < n; i++ {
+		raw := slab[i*PacketSize : (i+1)*PacketSize]
+		if prev >= 0 && bytes.Equal(raw, slab[prev*PacketSize:(prev+1)*PacketSize]) {
+			ps[i] = ps[prev]
+			continue
+		}
+		if err := DecodeInto(&ps[i], raw); err != nil {
+			return i, fmt.Errorf("slab stride %d: %w", i, err)
+		}
+		prev = i
+	}
+	return n, nil
 }
 
 // Decode parses an NTP header from b. Extension fields and MACs beyond

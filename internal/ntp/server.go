@@ -1,6 +1,7 @@
 package ntp
 
 import (
+	"bytes"
 	"net"
 	"net/netip"
 	"sync"
@@ -193,6 +194,97 @@ func (s *Server) RespondAppend(client netip.AddrPort, payload, dst []byte) (out 
 		s.cfg.Capture(client, now)
 	}
 	return resp.AppendEncode(dst), true
+}
+
+// RespondBatch processes a slab of back-to-back 48-byte request
+// datagrams — reqs[i*PacketSize:(i+1)*PacketSize] from clients[i] —
+// appending each response onto dst in request order and returning the
+// extended slice plus the number of requests answered. Per-event
+// semantics are identical to calling RespondAppend in a loop: metrics,
+// rate limiting, and the Capture hook fire once per request, in order.
+// What the batch buys is template reuse: consecutive identical requests
+// at a frozen clock (the collection pipeline's steady state — every
+// simulated client in a slice sends the same mode-3 header) are decoded
+// once, and their responses are stride-copied instead of re-encoded.
+// When oks is non-nil it must have len(clients) entries and records
+// which requests produced a response.
+func (s *Server) RespondBatch(clients []netip.AddrPort, reqs, dst []byte, oks []bool) (out []byte, answered int) {
+	n := len(reqs) / PacketSize
+	var (
+		req     Packet
+		reqOK   bool
+		prevRaw []byte
+		prevOff = -1 // dst offset of the previous plain response
+		prevNow time.Time
+		now     time.Time
+	)
+	for i := 0; i < n; i++ {
+		raw := reqs[i*PacketSize : (i+1)*PacketSize]
+		s.requests.Add(1)
+		if m := s.cfg.Metrics; m != nil {
+			m.Requests.Inc()
+		}
+		if oks != nil {
+			oks[i] = false
+		}
+		if prevRaw == nil || !bytes.Equal(raw, prevRaw) {
+			prevRaw = raw
+			prevOff = -1
+			reqOK = DecodeInto(&req, raw) == nil && req.Mode == ModeClient
+		}
+		if !reqOK {
+			continue
+		}
+		now = s.cfg.Now()
+		if s.overRate(clients[i].Addr(), now) {
+			s.limited.Add(1)
+			if m := s.cfg.Metrics; m != nil {
+				m.RateLimited.Inc()
+			}
+			kod := kissOfDeath(&req, now)
+			dst = kod.AppendEncode(dst)
+			prevOff = -1 // KoD breaks the plain-response run
+			if oks != nil {
+				oks[i] = true
+			}
+			answered++
+			continue
+		}
+		s.answered.Add(1)
+		if m := s.cfg.Metrics; m != nil {
+			m.Answered.Inc()
+		}
+		if s.cfg.Capture != nil {
+			s.cfg.Capture(clients[i], now)
+		}
+		if prevOff >= 0 && now.Equal(prevNow) {
+			// Same request template, same instant: the response bytes
+			// are identical — copy the previous stride.
+			dst = append(dst, dst[prevOff:prevOff+PacketSize]...)
+		} else {
+			resp := Packet{
+				Leap:          LeapNone,
+				Version:       req.Version,
+				Mode:          ModeServer,
+				Stratum:       s.cfg.Stratum,
+				Poll:          req.Poll,
+				Precision:     -20,
+				ReferenceID:   s.cfg.ReferenceID,
+				ReferenceTime: ToTime64(now.Add(-17 * time.Second)),
+				OriginTime:    req.TransmitTime,
+				ReceiveTime:   ToTime64(now),
+				TransmitTime:  ToTime64(now),
+			}
+			prevOff = len(dst)
+			prevNow = now
+			dst = resp.AppendEncode(dst)
+		}
+		if oks != nil {
+			oks[i] = true
+		}
+		answered++
+	}
+	return dst, answered
 }
 
 // Handle adapts the server to a netsim packet handler.

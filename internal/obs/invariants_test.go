@@ -16,6 +16,7 @@ import (
 
 	"ntpscan/internal/chaos"
 	"ntpscan/internal/core"
+	"ntpscan/internal/world"
 )
 
 func value(t *testing.T, p *core.Pipeline, key string) int64 {
@@ -127,6 +128,26 @@ func TestConservationInvariantsUnderChaos(t *testing.T) {
 			}
 			if slices := value(t, p, "campaign_slices_total"); slices != 96 {
 				t.Errorf("campaign_slices_total = %d, want 96", slices)
+			}
+
+			// Arena conservation: every device still resident in a shard
+			// arena was materialized and never evicted, so the counters
+			// and the resident-bytes gauge must agree slot-for-slot. Any
+			// lookup is either a hit or a materialization, so the
+			// campaign touching devices at all implies materializations.
+			mat := value(t, p, "world_arena_materializations_total")
+			evict := value(t, p, "world_arena_evictions_total")
+			residentBytes := value(t, p, "world_arena_resident_bytes")
+			if mat == 0 {
+				t.Error("campaign captured devices but arenas never materialized one")
+			}
+			if residentBytes%int64(world.SlotBytes()) != 0 {
+				t.Errorf("world_arena_resident_bytes %d is not a multiple of the %d-byte slot size",
+					residentBytes, world.SlotBytes())
+			}
+			if resident := residentBytes / int64(world.SlotBytes()); mat-evict != resident {
+				t.Errorf("arena conservation violated: materializations %d - evictions %d != resident slots %d",
+					mat, evict, resident)
 			}
 
 			// Fault bookkeeping (vantage outages surface as capture

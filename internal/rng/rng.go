@@ -42,16 +42,24 @@ func splitmix64(x *uint64) uint64 {
 // New returns a stream seeded from the given 64-bit seed.
 func New(seed uint64) *Stream {
 	st := &Stream{}
+	st.Reseed(seed)
+	return st
+}
+
+// Reseed reinitialises the stream in place from a 64-bit seed, exactly
+// as New would. Hot paths that derive one short-lived stream per item
+// (per-device materialization, per-address derivation) reuse a single
+// scratch Stream through Reseed instead of allocating with New.
+func (r *Stream) Reseed(seed uint64) {
 	x := seed
-	for i := range st.s {
-		st.s[i] = splitmix64(&x)
+	for i := range r.s {
+		r.s[i] = splitmix64(&x)
 	}
 	// xoshiro must not start from the all-zero state; splitmix64 of any
 	// seed cannot produce four zero words, but guard anyway.
-	if st.s == [4]uint64{} {
-		st.s[0] = 0x9e3779b97f4a7c15
+	if r.s == [4]uint64{} {
+		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return st
 }
 
 // Derive returns a child stream whose seed is a function of the parent's

@@ -119,7 +119,7 @@ func (w *World) CurrentAddr(d *Device, now time.Time) netip.Addr {
 // through CurrentAddr as they sync; static hitlist-only deployments must
 // exist up front for the hitlist scan to find them.
 func (w *World) RegisterStatic() {
-	for _, d := range w.Devices {
+	for _, d := range w.reachable {
 		if d.host == nil || d.Profile.PrefixEpochs > 1 {
 			continue
 		}
@@ -132,7 +132,7 @@ func (w *World) RegisterStatic() {
 // lists use this to reconstruct one instant of the world; addresses the
 // devices held in earlier epochs stay dark (the §6 staleness).
 func (w *World) RegisterAllAt(t time.Time) {
-	for _, d := range w.Devices {
+	for _, d := range w.reachable {
 		if d.host == nil {
 			continue
 		}

@@ -1,12 +1,9 @@
 package world
 
 import (
-	"encoding/binary"
 	"hash/fnv"
-	"time"
 
 	"ntpscan/internal/asn"
-	"ntpscan/internal/ipv6x"
 	"ntpscan/internal/oui"
 	"ntpscan/internal/rng"
 )
@@ -79,32 +76,26 @@ func shortVendor(v string) string {
 	return string(out)
 }
 
-// buildDevices instantiates the scaled population.
-func (w *World) buildDevices(r *rng.Stream) {
-	id := 0
-	for _, p := range allProfiles() {
-		pr := r.Derive("profile/" + p.Name)
-		add := func(full int, scale float64, role Role) {
-			if full <= 0 {
-				return
-			}
-			n := scaleCount(full, scale, 1)
-			for i := 0; i < n; i++ {
-				d := w.makeDevice(id, p, role, pr)
-				id++
-				w.Devices = append(w.Devices, d)
-			}
+// buildDevices materializes the whole population eagerly into
+// w.Devices, in global-ID order. Reachable devices reuse the structs
+// buildReachable already created (they carry fabric hosts); the
+// address-only mass is derived through the same pure function a lazy
+// world's Materializer uses, so both modes agree field for field.
+func (w *World) buildDevices() {
+	w.Devices = make([]*Device, 0, w.deviceTotal)
+	var r rng.Stream
+	next := 0 // cursor into w.reachable, which is in global-ID order
+	for si := range w.segments {
+		seg := &w.segments[si]
+		if seg.role != RoleAddrOnly {
+			w.Devices = append(w.Devices, w.reachable[next:next+int(seg.n)]...)
+			next += int(seg.n)
+			continue
 		}
-		add(p.CountResponsive, w.Cfg.DeviceScale, RoleResponsive)
-		add(p.CountHitlistOnly, w.Cfg.DeviceScale, RoleHitlistOnly)
-		add(p.CountAddrOnly, w.Cfg.AddrScale, RoleAddrOnly)
-	}
-	// Size customer /48 pools now that per-AS device counts are known.
-	for _, c := range w.Countries {
-		for _, lst := range [][]*AS{c.Eyeball, c.Content, c.NSP, c.Entpr} {
-			for _, a := range lst {
-				a.Cust48Pool = cust48Pool(a, c.Spec.EyeballDensity)
-			}
+		for i := int32(0); i < seg.n; i++ {
+			d := &Device{}
+			w.materializeInto(seg.base+i, d, &r)
+			w.Devices = append(w.Devices, d)
 		}
 	}
 }
@@ -131,86 +122,6 @@ func cust48Pool(a *AS, density int) int {
 	return pool
 }
 
-// makeDevice creates one device with placement and identity drawn from
-// pr.
-func (w *World) makeDevice(id int, p *Profile, role Role, pr *rng.Stream) *Device {
-	d := &Device{ID: id, Profile: p, role: role, KeySlot: -1}
-
-	// Placement: responsive/addr-only NTP clients live in vantage
-	// countries (only their zones reach our capture servers);
-	// hitlist-only deployments spread everywhere.
-	country := w.pickCountry(p, role, pr)
-	d.Country = country.Spec.Code
-	d.AS = w.pickAS(country, p.ASTyp, pr)
-	d.AS.deviceCount++
-
-	// Hardware address. An empty Vendor with HasUniversalMAC models
-	// manufacturers absent from the IEEE registry (the paper's
-	// "unlisted" class): the unique bit is set but no OUI record
-	// exists.
-	if p.AddrMode == AddrEUI64 && p.HasUniversalMAC {
-		var block [3]byte
-		if p.Vendor != "" {
-			ouis := w.OUIReg.OUIs(p.Vendor)
-			block = ouis[pr.Intn(len(ouis))]
-		} else {
-			pr.Bytes(block[:])
-			block[0] &^= 0x03 // universal unicast, but unregistered
-		}
-		var serial [3]byte
-		pr.Bytes(serial[:])
-		d.MAC = ipv6x.MAC{block[0], block[1], block[2], serial[0], serial[1], serial[2]}
-		d.HasMAC = true
-	}
-
-	// Identity and posture. Reuse pools shrink with DeviceScale so the
-	// devices-per-key ratio stays at its full-scale calibration (~60
-	// addresses per leaked image key, §6).
-	d.CertSerial = pr.Uint64()
-	if p.KeyReuseProb > 0 && pr.Bool(p.KeyReuseProb) && p.KeyReusePoolSize > 0 {
-		pool := int(float64(p.KeyReusePoolSize) * w.Cfg.DeviceScale)
-		if pool < 1 {
-			pool = 1
-		}
-		// Zipf-skewed slot choice: the most widespread firmware image
-		// accounts for a large share of the reuse population (the
-		// paper's single key on 45 377 hosts).
-		d.KeySlot = pr.Zipf(pool, 1.4)
-		d.KeyID = reuseKeyID(p.Name, d.KeySlot)
-	} else {
-		binary.LittleEndian.PutUint64(d.KeyID[:8], pr.Uint64())
-		binary.LittleEndian.PutUint64(d.KeyID[8:], pr.Uint64())
-	}
-	d.TLSEnabled = pr.Bool(p.TLSProb)
-	d.AuthOn = pr.Bool(p.AuthProb)
-	if p.SSH != nil && !p.SSH.NoPatch {
-		lag := int(pr.ExpFloat64() * p.OutdatedBias * 1.2)
-		d.PatchRev = p.SSH.MaxRev - lag
-		if d.PatchRev < 0 {
-			d.PatchRev = 0
-		}
-	}
-
-	// Churn parameters.
-	epochs := p.PrefixEpochs
-	if epochs < 1 {
-		epochs = 1
-	}
-	d.epochLen = CollectionWindow / time.Duration(epochs)
-	d.phase = time.Duration(pr.Uint64n(uint64(d.epochLen)))
-	d.lastEpoch = -1
-
-	// Reachable devices get their service host built once.
-	if role != RoleAddrOnly && len(p.Services) > 0 {
-		d.host = w.buildHost(d)
-	} else if role != RoleAddrOnly {
-		// Profile with no services (core routers): registered so the
-		// address is routed, but every port is closed.
-		d.host = w.emptyHost(d)
-	}
-	return d
-}
-
 // reuseKeyID derives the shared key for a reuse-pool slot.
 func reuseKeyID(profile string, slot int) [16]byte {
 	h := fnv.New128a()
@@ -221,27 +132,14 @@ func reuseKeyID(profile string, slot int) [16]byte {
 	return out
 }
 
-// pickCountry selects a placement country for a device.
-func (w *World) pickCountry(p *Profile, role Role, pr *rng.Stream) *Country {
-	vantageOnly := role != RoleHitlistOnly
-	// Eyeball address-only populations follow client mass linearly
-	// (India's dominance in Table 7); reachable deployments (servers,
-	// CPE with remote access) are flattened toward content-heavy
-	// markets.
-	linear := role == RoleAddrOnly
-	weights := make([]float64, len(w.Countries))
-	for i, c := range w.Countries {
-		if vantageOnly && !c.Spec.Vantage {
-			continue
-		}
-		weights[i] = regionWeight(p.Region, c.Spec, linear)
-	}
-	idx := pr.WeightedIndex(weights)
-	if idx < 0 {
-		idx = 0
-	}
-	return w.Countries[idx]
-}
+// Country placement: responsive/addr-only NTP clients live in vantage
+// countries (only their zones reach our capture servers); hitlist-only
+// deployments spread everywhere. Eyeball address-only populations
+// follow client mass linearly (India's dominance in Table 7); reachable
+// deployments (servers, CPE with remote access) are flattened toward
+// content-heavy markets. The weight vectors are precomputed per
+// (region, role shape) in buildSegments; placeDevice in materialize.go
+// draws against them.
 
 // regionWeight biases placement per the profile's market region. linear
 // selects raw client-mass weighting within RegionGlobal (eyeball
@@ -337,28 +235,20 @@ func (w *World) pickAS(c *Country, typ asn.Type, pr *rng.Stream) *AS {
 	return lst[pr.Zipf(len(lst), 1.15)]
 }
 
-// indexDevices builds the per-country sync-sampling tables over the
-// address-only population. Responsive NTP devices are excluded here:
-// because DeviceScale and AddrScale differ, volume-sampling them would
-// grossly overweight their share of the captured address mass. The
-// collection driver captures them through a dedicated channel instead
-// (see core).
+// indexDevices resolves the per-country client-ID index (built by the
+// counting pass over the address-only population — responsive NTP
+// devices are excluded because DeviceScale and AddrScale differ, so
+// volume-sampling them would grossly overweight their share of the
+// captured address mass; the collection driver captures them through a
+// dedicated channel instead, see core) into materialized device slices
+// for the eager accessors.
 func (w *World) indexDevices() {
-	for _, d := range w.Devices {
-		if !d.Profile.NTPClient || d.role != RoleAddrOnly {
-			continue
+	for code, ids := range w.clientIDs {
+		devs := make([]*Device, len(ids))
+		for i, gid := range ids {
+			devs[i] = w.Devices[gid]
 		}
-		w.byCountry[d.Country] = append(w.byCountry[d.Country], d)
-	}
-	for code, devs := range w.byCountry {
-		cum := make([]float64, len(devs))
-		total := 0.0
-		for i, d := range devs {
-			total += d.Profile.SyncWeight
-			cum[i] = total
-		}
-		w.cumSync[code] = cum
-		w.syncMass[code] = total
+		w.byCountry[code] = devs
 	}
 }
 
@@ -366,5 +256,6 @@ func (w *World) indexDevices() {
 // the expected relative capture volume for a vantage server there.
 func (w *World) SyncMass(country string) float64 { return w.syncMass[country] }
 
-// NTPClients returns the NTP-client devices in a country.
+// NTPClients returns the NTP-client devices in a country (eager worlds
+// only; lazy worlds resolve SampleClientID through a Materializer).
 func (w *World) NTPClients(country string) []*Device { return w.byCountry[country] }

@@ -1,0 +1,187 @@
+package world
+
+import (
+	"testing"
+
+	"ntpscan/internal/rng"
+)
+
+func lazyCfg(seed uint64) Config {
+	c := testCfg(seed)
+	c.Lazy = true
+	return c
+}
+
+// sameDevice asserts field-identity between an eagerly built device and
+// a lazily materialized one.
+func sameDevice(t *testing.T, eager *World, a *Device, lazy *World, b *Device) {
+	t.Helper()
+	if a.ID != b.ID || a.Profile.Name != b.Profile.Name || a.Country != b.Country ||
+		a.AS.Number != b.AS.Number || a.role != b.role {
+		t.Fatalf("device %d placement differs: %+v vs %+v", a.ID, a, b)
+	}
+	if a.MAC != b.MAC || a.HasMAC != b.HasMAC {
+		t.Fatalf("device %d MAC differs: %v/%v vs %v/%v", a.ID, a.MAC, a.HasMAC, b.MAC, b.HasMAC)
+	}
+	if a.TLSEnabled != b.TLSEnabled || a.AuthOn != b.AuthOn || a.PatchRev != b.PatchRev ||
+		a.CertSerial != b.CertSerial || a.KeyID != b.KeyID || a.KeySlot != b.KeySlot {
+		t.Fatalf("device %d identity differs", a.ID)
+	}
+	if a.epochLen != b.epochLen || a.phase != b.phase {
+		t.Fatalf("device %d churn params differ", a.ID)
+	}
+	for _, epoch := range []int64{0, 1, 7} {
+		if ea, eb := eager.AddrAt(a, epoch), lazy.AddrAt(b, epoch); ea != eb {
+			t.Fatalf("device %d epoch %d address differs: %v vs %v", a.ID, epoch, ea, eb)
+		}
+	}
+}
+
+// TestLazyEagerEquivalence is the golden walk: every device of the
+// eager SCALE=1 world — every country, AS, and /48 it occupies — must
+// be field-identical to what on-demand materialization derives for the
+// same global ID.
+func TestLazyEagerEquivalence(t *testing.T) {
+	eager := New(testCfg(1))
+	lazy := New(lazyCfg(1))
+	if lazy.Devices != nil {
+		t.Fatalf("lazy world materialized %d devices eagerly", len(lazy.Devices))
+	}
+	if got, want := lazy.DeviceCount(), len(eager.Devices); got != want {
+		t.Fatalf("population size differs: lazy %d, eager %d", got, want)
+	}
+	m := lazy.NewMaterializer(1 << 16)
+	for _, d := range eager.Devices {
+		sameDevice(t, eager, d, lazy, m.Device(int32(d.ID)))
+	}
+
+	// The resident reachable population must agree too (same structs
+	// both modes measure through).
+	er, lr := eager.Reachable(), lazy.Reachable()
+	if len(er) != len(lr) {
+		t.Fatalf("reachable counts differ: %d vs %d", len(er), len(lr))
+	}
+	for i := range er {
+		sameDevice(t, eager, er[i], lazy, lr[i])
+	}
+}
+
+// TestLazySamplingMatchesEager: the weighted client draw consumes the
+// same stream state and lands on the same device in both modes.
+func TestLazySamplingMatchesEager(t *testing.T) {
+	eager := New(testCfg(1))
+	lazy := New(lazyCfg(1))
+	re, rl := rng.New(42), rng.New(42)
+	for i := 0; i < 500; i++ {
+		for _, country := range []string{"IN", "DE", "US", "XX"} {
+			d := eager.SampleClient(country, re)
+			gid := lazy.SampleClientID(country, rl)
+			if d == nil {
+				if gid != -1 {
+					t.Fatalf("%s: eager empty, lazy sampled %d", country, gid)
+				}
+				continue
+			}
+			if int32(d.ID) != gid {
+				t.Fatalf("%s draw %d: eager device %d, lazy id %d", country, i, d.ID, gid)
+			}
+		}
+	}
+	if eager.SyncMass("IN") != lazy.SyncMass("IN") ||
+		eager.ClientEpochMass("IN") != lazy.ClientEpochMass("IN") {
+		t.Fatal("per-country index masses differ between modes")
+	}
+}
+
+// TestArenaHitPathAllocates pins the arena hit path at zero
+// allocations: resolving a resident device must not touch the heap.
+func TestArenaHitPathAllocates(t *testing.T) {
+	w := New(lazyCfg(1))
+	m := w.NewMaterializer(1 << 16)
+	gid := w.SampleClientID("IN", rng.New(1))
+	if gid < 0 {
+		t.Fatal("no client to sample")
+	}
+	m.Device(gid)
+	if avg := testing.AllocsPerRun(200, func() { m.Device(gid) }); avg != 0 {
+		t.Fatalf("arena hit path allocates %.1f objects per lookup", avg)
+	}
+}
+
+// TestArenaEviction drives a one-slot arena and checks the conservation
+// law the obs invariants rely on: materializations - evictions ==
+// resident devices, and hits + materializations == lookups.
+func TestArenaEviction(t *testing.T) {
+	w := New(lazyCfg(1))
+	m := w.NewMaterializer(1) // clamps to one slot
+	if m.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want 1", m.Capacity())
+	}
+	a := m.Device(0)
+	if a.ID != 0 {
+		t.Fatalf("materialized device %d, want 0", a.ID)
+	}
+	m.Device(0) // hit
+	b := m.Device(1)
+	if b.ID != 1 {
+		t.Fatalf("materialized device %d, want 1", b.ID)
+	}
+	st := m.TakeStats()
+	if st.Materializations != 2 || st.Hits != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want 2 materializations, 1 hit, 1 eviction", st)
+	}
+	if m.ResidentBytes() != slotBytes {
+		t.Fatalf("resident bytes = %d, want %d", m.ResidentBytes(), slotBytes)
+	}
+	if got := m.TakeStats(); got != (ArenaStats{}) {
+		t.Fatalf("TakeStats did not reset: %+v", got)
+	}
+}
+
+// TestArenaSnapshotRestore: a restored arena must continue the exact
+// hit/miss/eviction sequence the original would have produced.
+func TestArenaSnapshotRestore(t *testing.T) {
+	w := New(lazyCfg(1))
+	ids := w.clientIDs["IN"]
+	if len(ids) < 8 {
+		t.Fatalf("too few IN clients: %d", len(ids))
+	}
+	budget := 4 * slotBytes
+
+	drive := func(m *Materializer, seq []int32) ArenaStats {
+		var total ArenaStats
+		for _, gid := range seq {
+			m.Device(gid)
+			s := m.TakeStats()
+			total.Materializations += s.Materializations
+			total.Hits += s.Hits
+			total.Evictions += s.Evictions
+		}
+		return total
+	}
+
+	warm := []int32{ids[0], ids[1], ids[2], ids[3], ids[1], ids[4]}
+	tail := []int32{ids[5], ids[1], ids[6], ids[2], ids[7], ids[0], ids[1]}
+
+	// Uninterrupted run.
+	full := w.NewMaterializer(budget)
+	drive(full, warm)
+	wantTail := drive(full, tail)
+
+	// Snapshot after the warmup, restore into a fresh arena, replay.
+	orig := w.NewMaterializer(budget)
+	drive(orig, warm)
+	snap := orig.Snapshot()
+	resumed := w.NewMaterializer(budget)
+	if err := resumed.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if gotTail := drive(resumed, tail); gotTail != wantTail {
+		t.Fatalf("resumed tail stats %+v, want %+v", gotTail, wantTail)
+	}
+
+	// Capacity mismatch is rejected, not silently misread.
+	if err := w.NewMaterializer(budget * 2).Restore(snap); err == nil {
+		t.Fatal("restore across a different byte budget succeeded")
+	}
+}

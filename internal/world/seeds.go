@@ -32,7 +32,7 @@ type SeedCandidate struct {
 func (w *World) HitlistSeeds(r *rng.Stream) []SeedCandidate {
 	now := w.clock.Now()
 	var out []SeedCandidate
-	for _, d := range w.Devices {
+	for _, d := range w.reachable {
 		switch d.role {
 		case RoleHitlistOnly:
 			src := "dns"

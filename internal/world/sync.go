@@ -2,7 +2,6 @@ package world
 
 import (
 	"net/netip"
-	"sort"
 	"time"
 
 	"ntpscan/internal/rng"
@@ -10,28 +9,25 @@ import (
 
 // SampleClient draws one NTP client from a country's syncing population,
 // weighted by per-profile sync frequency. It returns nil when the
-// country has no NTP clients.
+// country has no NTP clients. Eager worlds only — lazy worlds draw an
+// ID with SampleClientID and resolve it through a Materializer, which
+// consumes exactly the same stream draws.
 func (w *World) SampleClient(country string, r *rng.Stream) *Device {
-	devs := w.byCountry[country]
-	if len(devs) == 0 {
+	gid := w.SampleClientID(country, r)
+	if gid < 0 {
 		return nil
 	}
-	cum := w.cumSync[country]
-	target := r.Float64() * cum[len(cum)-1]
-	idx := sort.SearchFloat64s(cum, target)
-	if idx >= len(devs) {
-		idx = len(devs) - 1
-	}
-	return devs[idx]
+	return w.Devices[gid]
 }
 
 // ResponsiveNTP returns every scan-reachable NTP-client device — the
 // population whose capture the collection driver guarantees (their sync
 // cadence over four weeks makes at least one hit on a vantage server
-// overwhelmingly likely; see DESIGN.md).
+// overwhelmingly likely; see DESIGN.md). Available in lazy worlds: the
+// reachable population is always resident.
 func (w *World) ResponsiveNTP() []*Device {
 	var out []*Device
-	for _, d := range w.Devices {
+	for _, d := range w.reachable {
 		if d.role == RoleResponsive && d.Profile.NTPClient {
 			out = append(out, d)
 		}

@@ -300,15 +300,69 @@ type target struct {
 // paying it per address.
 const submitChunk = 64
 
-// chunkPool recycles submit chunks between the feed and the workers:
-// a worker returns its batch's backing array once the last target in
-// it has been scanned, so steady-state feeding allocates no chunks at
-// all. Pooling is invisible to results — a chunk is just transport.
-var chunkPool = sync.Pool{
-	New: func() any {
-		s := make([]target, 0, submitChunk)
-		return &s
-	},
+// session is one in-flight submit chunk: the unit of work handed from
+// the feed to a worker. Sessions live in the scanner's dense session
+// table under explicit lifetimes — acquired when the feed fills one,
+// released when the worker finishes its last target — instead of a
+// GC-managed sync.Pool, so a campaign's transport state is a bounded,
+// inspectable table rather than whatever the collector kept.
+type session struct {
+	id      int32
+	inUse   bool
+	targets []target
+}
+
+// sessionTable is the scanner's dense, index-keyed session registry:
+// slot i holds session id i forever, freed ids recycle LIFO, and the
+// table only ever grows to the campaign's in-flight high-water mark, so
+// steady-state acquire/release touches no allocator. Safe for
+// concurrent use by the feed and the worker pool.
+type sessionTable struct {
+	mu    sync.Mutex
+	slots []*session
+	free  []int32
+	high  int // high-water live sessions
+}
+
+// acquire hands out a free session (growing the table when none is
+// free) with its target buffer reset.
+func (t *sessionTable) acquire() *session {
+	t.mu.Lock()
+	var s *session
+	if n := len(t.free); n > 0 {
+		s = t.slots[t.free[n-1]]
+		t.free = t.free[:n-1]
+	} else {
+		s = &session{id: int32(len(t.slots)), targets: make([]target, 0, submitChunk)}
+		t.slots = append(t.slots, s)
+	}
+	s.inUse = true
+	if live := len(t.slots) - len(t.free); live > t.high {
+		t.high = live
+	}
+	t.mu.Unlock()
+	s.targets = s.targets[:0]
+	return s
+}
+
+// release returns a session to the free list. Releasing a session that
+// is not live is a lifetime bug, not a recoverable condition.
+func (t *sessionTable) release(s *session) {
+	t.mu.Lock()
+	if !s.inUse {
+		t.mu.Unlock()
+		panic("zgrab: session released twice")
+	}
+	s.inUse = false
+	t.free = append(t.free, s.id)
+	t.mu.Unlock()
+}
+
+// stats returns the live session count and the high-water mark.
+func (t *sessionTable) stats() (live, high int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.slots) - len(t.free), t.high
 }
 
 // Scanner is the zgrab2-style runtime: submit addresses, modules fan
@@ -320,9 +374,10 @@ type Scanner struct {
 	breaker *Breaker // nil unless Config.Breaker is set
 	met     *Metrics // never nil
 
-	queue   chan *[]target
-	wg      sync.WaitGroup
-	started bool
+	sessions sessionTable
+	queue    chan *session
+	wg       sync.WaitGroup
+	started  bool
 
 	// closeMu guards closed and makes Submit/Close race-free: Submit
 	// holds the read side across the enqueue so Close (write side)
@@ -379,7 +434,7 @@ func NewScanner(cfg Config) *Scanner {
 			PortOverrides: cfg.PortOverrides, Logical: logical,
 		},
 		revisit: NewRevisit(cfg.RevisitAfter),
-		queue:   make(chan *[]target, 4096),
+		queue:   make(chan *session, 4096),
 	}
 	reg := cfg.Obs
 	if reg == nil {
@@ -412,32 +467,31 @@ func (s *Scanner) Start(ctx context.Context) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for bp := range s.queue {
-				batch := *bp
-				for _, t := range batch {
+			for sess := range s.queue {
+				for _, t := range sess.targets {
 					s.scanOne(ctx, worker, t)
 				}
-				n := len(batch)
-				*bp = batch[:0]
-				chunkPool.Put(bp)
+				n := len(sess.targets)
+				s.sessions.release(sess)
 				s.finish(n)
 			}
 		}()
 	}
 }
 
-// enqueue numbers and queues a pre-filtered batch. Callers hold
-// closeMu.RLock and have checked closed. Ownership of the chunk passes
-// to the worker, which returns it to chunkPool.
-func (s *Scanner) enqueue(bp *[]target) {
-	batch := *bp
+// enqueue numbers and queues a pre-filtered session. Callers hold
+// closeMu.RLock and have checked closed. Ownership of the session
+// passes to the worker, which releases it back to the table once its
+// last target has been scanned.
+func (s *Scanner) enqueue(sess *session) {
+	batch := sess.targets
 	for i := range batch {
 		batch[i].seq = s.nextSeq.Add(1) - 1
 	}
 	s.pendingMu.Lock()
 	s.pending += len(batch)
 	s.pendingMu.Unlock()
-	s.queue <- bp
+	s.queue <- sess
 }
 
 func (s *Scanner) finish(n int) {
@@ -466,9 +520,9 @@ func (s *Scanner) Submit(addr netip.Addr) bool {
 		s.met.Suppressed.Inc()
 		return false
 	}
-	bp := chunkPool.Get().(*[]target)
-	*bp = append((*bp)[:0], target{addr: addr})
-	s.enqueue(bp)
+	sess := s.sessions.acquire()
+	sess.targets = append(sess.targets, target{addr: addr})
+	s.enqueue(sess)
 	return true
 }
 
@@ -487,8 +541,7 @@ func (s *Scanner) SubmitBatch(addrs []netip.Addr) int {
 	s.met.Submitted.Add(int64(len(addrs)))
 	accepted := 0
 	now := s.cfg.Clock.Now()
-	bp := chunkPool.Get().(*[]target)
-	*bp = (*bp)[:0]
+	sess := s.sessions.acquire()
 	for _, addr := range addrs {
 		if !s.revisit.Allow(addr, now) {
 			s.suppressed.Add(1)
@@ -496,17 +549,16 @@ func (s *Scanner) SubmitBatch(addrs []netip.Addr) int {
 			continue
 		}
 		accepted++
-		*bp = append(*bp, target{addr: addr})
-		if len(*bp) == submitChunk {
-			s.enqueue(bp)
-			bp = chunkPool.Get().(*[]target)
-			*bp = (*bp)[:0]
+		sess.targets = append(sess.targets, target{addr: addr})
+		if len(sess.targets) == submitChunk {
+			s.enqueue(sess)
+			sess = s.sessions.acquire()
 		}
 	}
-	if len(*bp) > 0 {
-		s.enqueue(bp)
+	if len(sess.targets) > 0 {
+		s.enqueue(sess)
 	} else {
-		chunkPool.Put(bp)
+		s.sessions.release(sess)
 	}
 	return accepted
 }
@@ -714,4 +766,11 @@ func (s *Scanner) Close() {
 // total probe count.
 func (s *Scanner) Stats() (submitted, scanned, suppressed, probes int64) {
 	return s.submitted.Load(), s.scanned.Load(), s.suppressed.Load(), s.probes.Load()
+}
+
+// Sessions returns the scanner's live in-flight session count and the
+// campaign's high-water mark — the bound on transport state the session
+// table ever held.
+func (s *Scanner) Sessions() (live, high int) {
+	return s.sessions.stats()
 }
