@@ -27,13 +27,19 @@ race:
 # fixed seed matrix: the netsim fault engine, the zgrab retry/breaker
 # machinery, campaign checkpoint/resume, the end-to-end chaos campaigns
 # in internal/chaos, and the metric conservation invariants in
-# internal/obs. NTPSCAN_CHAOS_SEEDS overrides the seeds. A second leg
-# re-runs the end-to-end campaign suites for one seed at 10x world
-# scale against the lazy (arena-materialized) world — same faults, same
-# oracles, sub-linear memory path.
+# internal/obs. NTPSCAN_CHAOS_SEEDS overrides the seeds. The node-loss
+# leg runs the cluster campaign (Nodes=3, a mid-campaign kill plus a
+# control-plane partition per run) over the same seed matrix, demanding
+# byte-identical output, epoch-fenced zombie submissions, and the
+# cluster task-conservation law. A final leg re-runs the end-to-end
+# campaign suites for one seed at 10x world scale against the lazy
+# (arena-materialized) world — same faults, same oracles, sub-linear
+# memory path.
 chaos:
 	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
 		$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/zgrab/ ./internal/core/ ./internal/obs/ ./internal/store/
+	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
+		$(GO) test -race ./internal/cluster/
 	NTPSCAN_CHAOS_SEEDS=23 NTPSCAN_CHAOS_SCALE=10 NTPSCAN_CHAOS_LAZY=1 \
 		$(GO) test -race ./internal/chaos/ ./internal/obs/
 

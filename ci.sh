@@ -5,7 +5,10 @@ set -eux
 go vet ./...
 go build ./...
 go test -race ./...
-# Fault-injection suite over the fixed seed matrix (see `make chaos`).
+# Fault-injection suite over the fixed seed matrix (see `make chaos`),
+# including the node-loss leg: cluster campaigns (Nodes=3) with a
+# mid-campaign node kill and a control-plane partition per run, under
+# -race, demanding byte-identical output and fenced zombie results.
 make chaos
 # Fuzz smoke: every fuzz target for a short burst on its seed corpus.
 # NTPSCAN_FUZZTIME overrides the per-target budget.

@@ -28,6 +28,7 @@ func main() {
 		addrScale   = flag.Float64("addr-scale", 6e-6, "address-only population scale")
 		asScale     = flag.Float64("as-scale", 0.03, "AS count scale")
 		workers     = flag.Int("workers", 64, "scan worker pool size")
+		nodes       = flag.Int("nodes", 1, "run the NTP campaign through a fault-tolerant cluster of N nodes (coordinator + shard leases; output is byte-identical at any N)")
 		lazy        = flag.Bool("lazy", false, "derive the address-only population on demand through bounded arenas (bit-identical output, sub-linear memory)")
 		collectOnly = flag.Bool("collect-only", false, "collection tables only (fast)")
 		ablations   = flag.Bool("ablations", false, "also run the ablation experiments")
@@ -49,6 +50,7 @@ func main() {
 		AddrScale:   *addrScale,
 		ASScale:     *asScale,
 		Workers:     *workers,
+		Nodes:       *nodes,
 		StoreDir:    *storeDir,
 		LazyWorld:   *lazy,
 	}

@@ -44,6 +44,31 @@ type Spec struct {
 	// Garbles corrupts that many devices' responses for GarbleLen.
 	Garbles   int
 	GarbleLen time.Duration
+
+	// ClusterNodes is the campaign-node count the node-level faults
+	// below target (0 disables them all, leaving the plan byte-identical
+	// to a pre-cluster one — their rng draws happen after every
+	// data-plane draw).
+	ClusterNodes int
+
+	// NodeKills crashes that many nodes for KillLen each: the process
+	// dies mid-campaign, its leases fence, its shards reassign, and it
+	// rejoins from the coordinator's state when the window closes.
+	NodeKills int
+	KillLen   time.Duration
+
+	// NodePartitions cuts that many nodes off the coordinator for
+	// PartitionLen each: the node keeps zombie-executing until its
+	// lease view expires, and everything it submits is fenced.
+	NodePartitions int
+	PartitionLen   time.Duration
+
+	// SlowHeartbeats lags that many nodes' heartbeats by HeartbeatLag
+	// for SlowHeartbeatLen each; a lag past the coordinator's grace
+	// reads as a miss.
+	SlowHeartbeats   int
+	SlowHeartbeatLen time.Duration
+	HeartbeatLag     time.Duration
 }
 
 // DefaultSpec is a moderately hostile four weeks: a couple of vantage
@@ -65,6 +90,23 @@ func DefaultSpec() Spec {
 		Garbles:          3,
 		GarbleLen:        48 * time.Hour,
 	}
+}
+
+// NodeLossSpec is the canonical node-loss schedule for a cluster of
+// the given size: DefaultSpec's data-plane hostility plus `kills`
+// multi-day node crashes, a control-plane partition, and a lagging
+// heartbeat — the scenario `make chaos` runs its node-loss leg with.
+func NodeLossSpec(nodes, kills int) Spec {
+	s := DefaultSpec()
+	s.ClusterNodes = nodes
+	s.NodeKills = kills
+	s.KillLen = 4 * 24 * time.Hour // ~14 slices: long enough to force reassignment and rejoin
+	s.NodePartitions = 1
+	s.PartitionLen = 2 * 24 * time.Hour
+	s.SlowHeartbeats = 1
+	s.SlowHeartbeatLen = 24 * time.Hour
+	s.HeartbeatLag = 2 * time.Hour // far past the default 30m grace
+	return s
 }
 
 // PlanFor derives a fault plan for the pipeline's world. Targets are
@@ -143,6 +185,23 @@ func PlanFor(p *core.Pipeline, seed uint64, spec Spec) *netsim.FaultPlan {
 		}
 		from, until := window(spec.GarbleLen)
 		plan.Add(netsim.Fault{Kind: netsim.FaultGarble, Addr: deviceAddr(d), From: from, Until: until})
+	}
+	// Node-level (control-plane) faults draw last so a zero-node spec
+	// yields exactly the plan it always did.
+	if spec.ClusterNodes > 0 {
+		pickNode := func() int { return r.Intn(spec.ClusterNodes) }
+		for i := 0; i < spec.NodeKills; i++ {
+			from, until := window(spec.KillLen)
+			plan.AddNode(netsim.NodeFault{Kind: netsim.NodeCrash, Node: pickNode(), From: from, Until: until})
+		}
+		for i := 0; i < spec.NodePartitions; i++ {
+			from, until := window(spec.PartitionLen)
+			plan.AddNode(netsim.NodeFault{Kind: netsim.NodePartition, Node: pickNode(), From: from, Until: until})
+		}
+		for i := 0; i < spec.SlowHeartbeats; i++ {
+			from, until := window(spec.SlowHeartbeatLen)
+			plan.AddNode(netsim.NodeFault{Kind: netsim.NodeSlowHeartbeat, Node: pickNode(), From: from, Until: until, Delay: spec.HeartbeatLag})
+		}
 	}
 	return plan
 }

@@ -53,6 +53,7 @@ func successStats(d *analysis.Dataset) (total int, distinct int) {
 // The faulted campaign must be exactly as replayable as a clean one:
 // same (seed, plan, shards) at any worker count is bit-identical.
 func TestFaultedCampaignDeterministicAcrossWorkers(t *testing.T) {
+	NoGoroutineLeaks(t)
 	for _, seed := range chaosSeeds(t) {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {

@@ -3,8 +3,11 @@ package chaos
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"testing"
+	"time"
 
 	"ntpscan/internal/core"
 	"ntpscan/internal/world"
@@ -67,6 +70,28 @@ func Config(seed uint64) core.Config {
 		Retry:         zgrab.DefaultRetryPolicy(),
 		Breaker:       &zgrab.BreakerConfig{},
 	}
+}
+
+// NoGoroutineLeaks arms a leak check on the test: at cleanup, the
+// goroutine count must settle back to its value at arm time (worker
+// pools, per-node executors and monitor goroutines all join before a
+// campaign returns). On a leak it fails with a full stack dump, so the
+// stuck goroutine is named, not guessed at.
+func NoGoroutineLeaks(t testing.TB) {
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		after := runtime.NumGoroutine()
+		for after > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+			after = runtime.NumGoroutine()
+		}
+		if after > before {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Errorf("goroutine leak: %d at start, %d after cleanup\n%s", before, after, buf[:n])
+		}
+	})
 }
 
 // FaultedPipeline builds a pipeline and installs the plan derived for

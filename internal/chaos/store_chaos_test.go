@@ -39,12 +39,74 @@ func storeDigest(t *testing.T, dir string) string {
 	return fmt.Sprintf("%x", h.Sum(nil))
 }
 
+// The regression pin for the torn-tail flake (ROADMAP item 4): the
+// scheduling-dependent value was the *order of capture rows* — when two
+// shards first-captured the same address in the same slice, the
+// cross-shard first-win race decided which shard's capture log carried
+// the row, so the store's capture rows (and one segment's bytes) could
+// wobble with worker interleaving while JSONL and telemetry stayed
+// fixed. Shard effects are now buffered and committed in ascending
+// shard order at the barrier, making row order worker-invariant. This
+// test pins that at the row level — raw store rows, compared
+// one-by-one across worker counts under the fault fabric, over the
+// seed matrix the flake was chased with — so a recurrence names the
+// exact diverging row instead of a one-byte digest mismatch.
+func TestStoreRowsIdenticalAcrossWorkers(t *testing.T) {
+	for _, seed := range []uint64{11, 23, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rows := func(workers int) []string {
+				cfg := Config(seed)
+				cfg.Workers = workers
+				p := FaultedPipeline(cfg, seed+1, DefaultSpec())
+				st, err := store.Open(t.TempDir(), store.Options{Obs: p.Obs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := p.RunCampaign(context.Background(), core.CampaignOpts{Store: st}); err != nil {
+					t.Fatal(err)
+				}
+				var out []string
+				it := st.Scan(store.Pred{})
+				for it.Next() {
+					b, err := json.Marshal(it.Row())
+					if err != nil {
+						t.Fatal(err)
+					}
+					out = append(out, string(b))
+				}
+				if err := it.Err(); err != nil {
+					t.Fatal(err)
+				}
+				return out
+			}
+			want := rows(1)
+			if len(want) == 0 {
+				t.Fatal("store holds no rows")
+			}
+			for _, workers := range []int{3, 8} {
+				got := rows(workers)
+				if len(got) != len(want) {
+					t.Errorf("workers=%d: %d rows, want %d", workers, len(got), len(want))
+				}
+				for i := range want {
+					if i < len(got) && got[i] != want[i] {
+						t.Errorf("workers=%d: row %d diverges:\n got %s\nwant %s", workers, i, got[i], want[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
 // Crash recovery under faults: a store-backed faulted campaign is
 // killed with a torn tail — the newest segment half-written, a stray
 // .tmp staged, and the manifest rolled back to the last checkpoint's
 // state — and the resumed run must recover the directory and finish
 // bit-identical to the uninterrupted run, torn bytes and all.
 func TestStoreTornTailRecoveryUnderFaults(t *testing.T) {
+	NoGoroutineLeaks(t)
 	for _, seed := range Seeds() {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {

@@ -1,0 +1,201 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ntpscan/internal/chaos"
+	"ntpscan/internal/cluster"
+	"ntpscan/internal/core"
+	"ntpscan/internal/netsim"
+)
+
+// runBaseline is the oracle: the same faulted campaign run
+// single-process, no dispatcher.
+func runBaseline(t *testing.T, seed uint64) (*core.Pipeline, []byte) {
+	t.Helper()
+	var out bytes.Buffer
+	p := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.DefaultSpec())
+	if _, err := p.RunCampaign(context.Background(), core.CampaignOpts{Out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	return p, out.Bytes()
+}
+
+// runCluster runs the same campaign through a node cluster, with
+// mutate given a chance to add node faults to the installed plan
+// before the campaign starts.
+func runCluster(t *testing.T, seed uint64, cfg cluster.Config, mutate func(p *core.Pipeline)) (*core.Pipeline, *cluster.Coordinator, []byte) {
+	t.Helper()
+	var out bytes.Buffer
+	p := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.DefaultSpec())
+	if mutate != nil {
+		mutate(p)
+	}
+	_, coord, err := cluster.Run(context.Background(), p, cfg, core.CampaignOpts{Out: &out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, coord, out.Bytes()
+}
+
+func checkIdentical(t *testing.T, label string, p, base *core.Pipeline, got, want []byte) {
+	t.Helper()
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: JSONL diverges from single-process run (%d vs %d bytes)", label, len(got), len(want))
+	}
+	if p.Captures != base.Captures {
+		t.Errorf("%s: Captures = %d, want %d", label, p.Captures, base.Captures)
+	}
+	if g, w := fmt.Sprintf("%+v", p.Summary.Stats()), fmt.Sprintf("%+v", base.Summary.Stats()); g != w {
+		t.Errorf("%s: Summary diverges:\n got %s\nwant %s", label, g, w)
+	}
+}
+
+func checkConservation(t *testing.T, coord *cluster.Coordinator) {
+	t.Helper()
+	claimed, completed, fenced, lost := coord.TaskCounts()
+	if claimed != completed+fenced+lost {
+		t.Errorf("task conservation violated: claimed %d != completed %d + fenced %d + lost %d",
+			claimed, completed, fenced, lost)
+	}
+	if inflight := coord.Obs.Snapshot()["cluster_tasks_inflight"]; len(inflight) != 1 || inflight[0] != 0 {
+		t.Errorf("cluster_tasks_inflight = %v at campaign end, want [0]", inflight)
+	}
+}
+
+// Nodes, like workers, must be pure execution placement: the clustered
+// campaign's output is byte-identical to the single-process one at any
+// node count.
+func TestClusterByteIdenticalAcrossNodes(t *testing.T) {
+	chaos.NoGoroutineLeaks(t)
+	seed := chaos.Seeds()[0]
+	base, want := runBaseline(t, seed)
+	for _, nodes := range []int{1, 3, 8} {
+		p, coord, got := runCluster(t, seed, cluster.Config{Nodes: nodes}, nil)
+		checkIdentical(t, fmt.Sprintf("nodes=%d", nodes), p, base, got, want)
+		claimed, completed, fenced, lost := coord.TaskCounts()
+		if fenced != 0 || lost != 0 {
+			t.Errorf("nodes=%d: healthy cluster fenced %d / lost %d tasks", nodes, fenced, lost)
+		}
+		if claimed == 0 || claimed != completed {
+			t.Errorf("nodes=%d: claimed %d, completed %d", nodes, claimed, completed)
+		}
+		checkConservation(t, coord)
+	}
+}
+
+// midSlice returns a time strictly inside slice s's window — a crash
+// starting there is a mid-slice death, not a missed heartbeat.
+func midSlice(p *core.Pipeline, s int) time.Time {
+	from, until := p.SliceWindow(s)
+	return from.Add(until.Sub(from) / 2)
+}
+
+// A node crash mid-campaign — dispatched tasks lost mid-slice, leases
+// fenced, shards reassigned to the survivors, the node rejoining from
+// coordinator state when the window closes — must not move a single
+// output byte.
+func TestClusterNodeKillByteIdentical(t *testing.T) {
+	chaos.NoGoroutineLeaks(t)
+	seed := chaos.Seeds()[0]
+	base, want := runBaseline(t, seed)
+	p, coord, got := runCluster(t, seed, cluster.Config{Nodes: 3}, func(p *core.Pipeline) {
+		p.Cfg.Faults.AddNode(netsim.NodeFault{
+			Kind: netsim.NodeCrash, Node: 1,
+			From: midSlice(p, 40), Until: midSlice(p, 60),
+		})
+	})
+	checkIdentical(t, "kill nodes=3", p, base, got, want)
+	_, _, _, lost := coord.TaskCounts()
+	if lost == 0 {
+		t.Error("mid-slice crash lost no dispatched tasks — the kill window missed execution")
+	}
+	snap := coord.Obs.Snapshot()
+	if missed := snap["cluster_heartbeats_missed_total"]; sum(missed) == 0 {
+		t.Error("crashed node missed no heartbeats")
+	}
+	if expired := snap["cluster_leases_expired_total"]; sum(expired) == 0 {
+		t.Error("crash expired no leases")
+	}
+	checkConservation(t, coord)
+}
+
+// A partitioned node cannot hear that its leases expired: it keeps
+// executing until its grant view runs out, and every submission it
+// makes is fenced by the epoch check (the acceptance criterion:
+// epoch-rejections strictly positive in kill runs) — and rolled back so
+// the replacement execution leaves output byte-identical.
+func TestClusterPartitionFencesZombies(t *testing.T) {
+	chaos.NoGoroutineLeaks(t)
+	seed := chaos.Seeds()[0]
+	base, want := runBaseline(t, seed)
+	p, coord, got := runCluster(t, seed, cluster.Config{Nodes: 3}, func(p *core.Pipeline) {
+		from, _ := p.SliceWindow(40)
+		until, _ := p.SliceWindow(52)
+		p.Cfg.Faults.AddNode(netsim.NodeFault{
+			Kind: netsim.NodePartition, Node: 2, From: from, Until: until,
+		})
+	})
+	checkIdentical(t, "partition nodes=3", p, base, got, want)
+	if coord.EpochRejections() == 0 {
+		t.Error("partitioned node's zombie submissions were not fenced (epoch rejections == 0)")
+	}
+	checkConservation(t, coord)
+}
+
+// Heartbeats lagging past the coordinator's grace read as misses: the
+// node is treated as dead (leases fence and reassign) even though its
+// process is fine — and output still does not move.
+func TestClusterSlowHeartbeatExpiresLeases(t *testing.T) {
+	chaos.NoGoroutineLeaks(t)
+	seed := chaos.Seeds()[0]
+	base, want := runBaseline(t, seed)
+	p, coord, got := runCluster(t, seed, cluster.Config{Nodes: 2}, func(p *core.Pipeline) {
+		from, _ := p.SliceWindow(30)
+		until, _ := p.SliceWindow(36)
+		p.Cfg.Faults.AddNode(netsim.NodeFault{
+			Kind: netsim.NodeSlowHeartbeat, Node: 0, From: from, Until: until,
+			Delay: 2 * time.Hour, // far past the default 30m grace
+		})
+	})
+	checkIdentical(t, "slow-heartbeat nodes=2", p, base, got, want)
+	snap := coord.Obs.Snapshot()
+	if missed := snap["cluster_heartbeats_missed_total"]; sum(missed) == 0 {
+		t.Error("lagged heartbeats were not counted as missed")
+	}
+	if expired := snap["cluster_leases_expired_total"]; sum(expired) == 0 {
+		t.Error("missed heartbeats expired no leases")
+	}
+	checkConservation(t, coord)
+}
+
+// Control calls from node indices outside the configured cluster are
+// rejected with the typed error.
+func TestClusterUnknownNodeRejected(t *testing.T) {
+	seed := chaos.Seeds()[0]
+	_, coord, _ := runCluster(t, seed, cluster.Config{Nodes: 2}, nil)
+	if _, err := coord.Claim(2, 0); !errors.Is(err, cluster.ErrUnknownNode) {
+		t.Errorf("Claim(2): err = %v, want ErrUnknownNode", err)
+	}
+	if _, err := coord.Heartbeat(-1, 0); !errors.Is(err, cluster.ErrUnknownNode) {
+		t.Errorf("Heartbeat(-1): err = %v, want ErrUnknownNode", err)
+	}
+	if err := coord.SubmitSlice(7, 0, 0, 1); !errors.Is(err, cluster.ErrUnknownNode) {
+		t.Errorf("SubmitSlice(7): err = %v, want ErrUnknownNode", err)
+	}
+	if err := coord.Release(5); !errors.Is(err, cluster.ErrUnknownNode) {
+		t.Errorf("Release(5): err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func sum(vals []int64) (s int64) {
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ntpscan/internal/core"
+	"ntpscan/internal/netsim"
+)
+
+// node is one in-process campaign node: an executor over its granted
+// shards with a bounded worker pool. Nodes are deliberately stateless
+// beyond their grant list — shard state lives with the pipeline, and a
+// rejoining node re-Claims rather than trusting its memory.
+type node struct {
+	id      int
+	grants  []Grant
+	workers int
+}
+
+// execute runs the node's granted shard tasks (worker-pool, dynamic
+// pickup) and submits each through the fencing gate. A live node's
+// submission fencing is a protocol invariant violation, not a runtime
+// condition — the coordinator only dispatches to nodes whose leases it
+// just renewed — so it panics rather than silently dropping work.
+func (n *node) execute(api API, slice int, shards []core.ShardRef, run func(core.ShardRef)) {
+	w := n.workers
+	if w > len(n.grants) {
+		w = len(n.grants)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= len(n.grants) {
+					return
+				}
+				g := n.grants[t]
+				run(shards[g.Shard])
+				if err := api.SubmitSlice(n.id, g.Shard, slice, g.Epoch); err != nil {
+					panic("cluster: live node's submission fenced: " + err.Error())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// heartbeatOK evaluates one node's heartbeat for the slice starting at
+// `at`: a crashed or partitioned node sends nothing the coordinator
+// can hear, and a heartbeat delayed past the grace window counts as
+// missed.
+func heartbeatOK(plan *netsim.FaultPlan, nodeID int, at time.Time, grace time.Duration) bool {
+	if plan == nil {
+		return true
+	}
+	if plan.NodeDown(nodeID, at) || plan.NodePartitioned(nodeID, at) {
+		return false
+	}
+	return plan.HeartbeatDelay(nodeID, at) <= grace
+}
+
+// dispatch is the campaign's slice driver (core.DispatchFunc): the
+// whole node-loss protocol runs here, once per slice, in a fixed phase
+// order so every control decision is a pure function of (fault plan,
+// slice, node index).
+//
+//  1. Heartbeats, evaluated on the slice-frozen clock.
+//  2. Expiry: leases held by nodes that missed fence (epoch bump).
+//  3. Zombies: a partitioned node cannot hear that its leases expired;
+//     while its own grant view is unexpired it keeps executing. Those
+//     executions are fenced at SubmitSlice (ErrStaleEpoch) and rolled
+//     back bit-exactly from a pre-execution snapshot.
+//  4. Rebalance: unowned shards spread contiguously over live nodes in
+//     node order; rejoining nodes Claim, steady nodes Heartbeat.
+//  5. Execution: per-node worker pools run the granted tasks. A node
+//     whose crash window opens mid-slice loses its dispatched tasks
+//     before submission; the loop fences it and re-dispatches its
+//     shards to the survivors. With no live nodes at all the
+//     coordinator executes the remainder inline (fallback), so the
+//     campaign converges regardless of the kill schedule.
+//
+// The core barrier then commits every shard's effects in ascending
+// shard order — by the time dispatch returns, each shard has exactly
+// one surviving execution.
+func (c *Coordinator) dispatch(s int, shards []core.ShardRef, run func(core.ShardRef)) {
+	plan := c.p.Cfg.Faults
+	from, until := c.p.SliceWindow(s)
+	nodes := c.cfg.Nodes
+
+	// Phase 1: heartbeats.
+	prevLive := append([]bool(nil), c.live...)
+	liveCount := 0
+	for n := 0; n < nodes; n++ {
+		ok := heartbeatOK(plan, n, from, c.cfg.HeartbeatGrace)
+		if ok {
+			c.met.heartbeats.Inc(n)
+			liveCount++
+		} else {
+			c.met.missed.Inc(n)
+			if plan.NodeDown(n, from) {
+				c.views[n] = nil // a crash loses the lease view with the process
+			}
+		}
+		c.live[n] = ok
+	}
+	c.met.live.Set(int64(liveCount))
+
+	// Phase 2: expire (fence) everything held by a node that missed.
+	c.mu.Lock()
+	for n := 0; n < nodes; n++ {
+		if !c.live[n] {
+			c.expireLocked(n)
+		}
+	}
+	c.mu.Unlock()
+
+	// Phase 3: zombie executions by partitioned nodes, fenced and
+	// rolled back. Runs strictly before live execution so `run` is
+	// never concurrent for the same shard.
+	for n := 0; n < nodes; n++ {
+		if c.live[n] || plan == nil || !plan.NodePartitioned(n, from) || plan.NodeDown(n, from) {
+			continue
+		}
+		for _, g := range c.views[n] {
+			if g.ExpiresSlice <= s {
+				continue // grant view expired: the node self-fences
+			}
+			ref := shards[g.Shard]
+			snap := ref.Snapshot()
+			c.met.claimed.Inc()
+			c.met.inflight.Add(1)
+			run(ref)
+			if err := c.SubmitSlice(n, g.Shard, s, g.Epoch); err == nil {
+				panic("cluster: partitioned node's submission passed the fence")
+			}
+			if err := ref.Restore(snap); err != nil {
+				panic("cluster: rollback of fenced execution failed: " + err.Error())
+			}
+		}
+	}
+
+	// Phases 4–5: assign and execute until every shard has a surviving
+	// execution.
+	dying := make([]bool, nodes)
+	for n := 0; n < nodes; n++ {
+		dying[n] = plan.NodeDiesWithin(n, from, until)
+	}
+	committed := make([]bool, len(shards))
+	left := len(shards)
+	for left > 0 {
+		if liveCount == 0 {
+			for sh := range shards {
+				if !committed[sh] {
+					c.met.fallback.Inc()
+					run(shards[sh])
+					committed[sh] = true
+					left--
+				}
+			}
+			break
+		}
+		c.mu.Lock()
+		c.rebalanceLocked(s)
+		c.mu.Unlock()
+		tasks := make([][]Grant, nodes)
+		executing := make([]bool, nodes)
+		for n := 0; n < nodes; n++ {
+			if !c.live[n] {
+				continue
+			}
+			var grants []Grant
+			var err error
+			if !c.seen[n] || !prevLive[n] {
+				grants, err = c.Claim(n, s)
+			} else {
+				grants, err = c.Heartbeat(n, s)
+			}
+			if err != nil {
+				panic("cluster: control call failed for configured node: " + err.Error())
+			}
+			prevLive[n] = true
+			c.views[n] = grants
+			for _, g := range grants {
+				if !committed[g.Shard] {
+					tasks[n] = append(tasks[n], g)
+				}
+			}
+		}
+		var wg sync.WaitGroup
+		for n := 0; n < nodes; n++ {
+			if !c.live[n] || len(tasks[n]) == 0 {
+				continue
+			}
+			k := int64(len(tasks[n]))
+			c.met.claimed.Add(k)
+			c.met.inflight.Add(k)
+			if dying[n] {
+				// Mid-slice crash: the dispatched tasks are lost before
+				// submission; fence the node and put its shards back in
+				// the pool for the survivors.
+				c.met.lost.Add(k)
+				c.met.inflight.Add(-k)
+				c.mu.Lock()
+				c.expireLocked(n)
+				c.mu.Unlock()
+				c.live[n] = false
+				c.views[n] = nil
+				liveCount--
+				continue
+			}
+			executing[n] = true
+			nd := &node{id: n, grants: tasks[n], workers: c.cfg.WorkersPerNode}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				nd.execute(c, s, shards, run)
+			}()
+		}
+		wg.Wait()
+		for n := 0; n < nodes; n++ {
+			if executing[n] {
+				for _, g := range tasks[n] {
+					committed[g.Shard] = true
+					left--
+				}
+			}
+		}
+	}
+	c.met.live.Set(int64(liveCount))
+}

@@ -1,0 +1,154 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"ntpscan/internal/chaos"
+	"ntpscan/internal/core"
+)
+
+// White-box protocol unit tests: the lease table's fencing rules,
+// checked directly against the coordinator's state machine without a
+// campaign around them.
+
+func testCoordinator(t *testing.T, nodes int) *Coordinator {
+	t.Helper()
+	p := core.NewPipeline(chaos.Config(11))
+	c, err := NewCoordinator(p, Config{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSubmitSliceFencesStaleEpochs(t *testing.T) {
+	c := testCoordinator(t, 3)
+	c.table[0] = lease{holder: 1, epoch: 5, expires: 2}
+
+	if err := c.SubmitSlice(1, 0, 0, 4); !errors.Is(err, ErrStaleEpoch) {
+		t.Errorf("stale epoch: err = %v, want ErrStaleEpoch", err)
+	}
+	if err := c.SubmitSlice(2, 0, 0, 5); !errors.Is(err, ErrStaleEpoch) {
+		t.Errorf("right epoch, wrong holder: err = %v, want ErrStaleEpoch", err)
+	}
+	if err := c.SubmitSlice(1, 0, 0, 5); err != nil {
+		t.Errorf("current holder, current epoch: err = %v, want nil", err)
+	}
+	if err := c.SubmitSlice(1, 99, 0, 5); err == nil || errors.Is(err, ErrStaleEpoch) {
+		t.Errorf("out-of-range shard: err = %v, want a non-fencing error", err)
+	}
+	if got := c.met.fenced.Value(); got != 2 {
+		t.Errorf("epoch rejections = %d, want 2", got)
+	}
+	if got := c.met.completed.Value(); got != 1 {
+		t.Errorf("completed = %d, want 1", got)
+	}
+}
+
+func TestExpireAndReleaseAdvanceEpochs(t *testing.T) {
+	c := testCoordinator(t, 2)
+	c.table[0] = lease{holder: 0, epoch: 3}
+	c.table[1] = lease{holder: 0, epoch: 7}
+	c.table[2] = lease{holder: 1, epoch: 1}
+
+	c.mu.Lock()
+	freed := c.expireLocked(0)
+	c.mu.Unlock()
+	if freed != 2 {
+		t.Fatalf("expired %d leases, want 2", freed)
+	}
+	if c.table[0] != (lease{holder: -1, epoch: 4}) || c.table[1] != (lease{holder: -1, epoch: 8}) {
+		t.Errorf("expiry did not fence: %+v %+v", c.table[0], c.table[1])
+	}
+	if c.table[2].holder != 1 {
+		t.Error("expiry touched another node's lease")
+	}
+
+	if err := c.Release(1); err != nil {
+		t.Fatal(err)
+	}
+	if c.table[2] != (lease{holder: -1, epoch: 2}) {
+		t.Errorf("release did not fence: %+v", c.table[2])
+	}
+	// A straggler submission under the released epoch fences.
+	if err := c.SubmitSlice(1, 2, 0, 1); !errors.Is(err, ErrStaleEpoch) {
+		t.Errorf("post-release submission: err = %v, want ErrStaleEpoch", err)
+	}
+}
+
+// Rebalance must be the deterministic placement rule the determinism
+// argument leans on: contiguous runs of shards over live nodes in node
+// order, every unowned shard placed, no owned lease disturbed.
+func TestRebalanceContiguousOverLiveNodes(t *testing.T) {
+	c := testCoordinator(t, 4)
+	c.live = []bool{true, false, true, true} // node 1 dead
+	c.table[5] = lease{holder: 2, epoch: 9, expires: 1}
+
+	c.mu.Lock()
+	c.rebalanceLocked(3)
+	c.mu.Unlock()
+
+	if c.table[5] != (lease{holder: 2, epoch: 9, expires: 1}) {
+		t.Errorf("rebalance disturbed an owned lease: %+v", c.table[5])
+	}
+	prev := -1
+	counts := map[int]int{}
+	for sh := range c.table {
+		l := c.table[sh]
+		if l.holder < 0 {
+			t.Fatalf("shard %d left unowned", sh)
+		}
+		if l.holder == 1 {
+			t.Fatalf("shard %d assigned to a dead node", sh)
+		}
+		if sh == 5 {
+			continue
+		}
+		if l.holder < prev {
+			t.Fatalf("placement not contiguous in node order: shard %d holder %d after %d", sh, l.holder, prev)
+		}
+		prev = l.holder
+		counts[l.holder]++
+		if l.expires != 3+c.cfg.LeaseTTL {
+			t.Fatalf("shard %d expires at %d, want %d", sh, l.expires, 3+c.cfg.LeaseTTL)
+		}
+	}
+	for _, n := range []int{0, 2, 3} {
+		if counts[n] == 0 {
+			t.Errorf("live node %d received no shards", n)
+		}
+	}
+}
+
+func TestHeartbeatRenewsLeases(t *testing.T) {
+	c := testCoordinator(t, 2)
+	c.table[4] = lease{holder: 1, epoch: 2, expires: 1}
+	grants, err := c.Heartbeat(1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grants) != 1 || grants[0] != (Grant{Shard: 4, Epoch: 2, ExpiresSlice: 6 + c.cfg.LeaseTTL}) {
+		t.Fatalf("grants = %+v", grants)
+	}
+	if c.table[4].expires != 6+c.cfg.LeaseTTL {
+		t.Errorf("lease expiry not renewed: %+v", c.table[4])
+	}
+}
+
+func TestNewCoordinatorRejectsFullPacketNTP(t *testing.T) {
+	cfg := chaos.Config(11)
+	cfg.FullPacketNTP = true
+	if _, err := NewCoordinator(core.NewPipeline(cfg), Config{Nodes: 2}); err == nil {
+		t.Fatal("FullPacketNTP pipeline accepted — the fabric hook needs serial shards")
+	}
+}
+
+func TestEpochsStartAtOne(t *testing.T) {
+	c := testCoordinator(t, 1)
+	for sh := range c.table {
+		if c.table[sh].epoch != 1 {
+			t.Fatalf("shard %d epoch %d, want 1 (zero must never pass the fence)", sh, c.table[sh].epoch)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"ntpscan/internal/chaos"
+	"ntpscan/internal/cluster"
+	"ntpscan/internal/core"
+	"ntpscan/internal/netsim"
+)
+
+// partitionAt returns the plan mutation used by the resume tests: a
+// partition of node 2 spanning slices [40, 52) — zombie executions and
+// fencing happen both before and after the checkpoint the tests resume
+// from.
+func partitionAt(p *core.Pipeline) {
+	from, _ := p.SliceWindow(40)
+	until, _ := p.SliceWindow(52)
+	p.Cfg.Faults.AddNode(netsim.NodeFault{
+		Kind: netsim.NodePartition, Node: 2, From: from, Until: until,
+	})
+}
+
+// Kill-and-resume for the cluster: a fresh coordinator restored from a
+// mid-campaign checkpoint — carried through the framed on-disk
+// encoding — reproduces the uninterrupted clustered run's remaining
+// output byte-for-byte, with the fencing epochs continued.
+func TestClusterResumeReproducesOutput(t *testing.T) {
+	chaos.NoGoroutineLeaks(t)
+	seed := chaos.Seeds()[0]
+	cfg := cluster.Config{Nodes: 3}
+
+	var full bytes.Buffer
+	var cps []*core.Checkpoint
+	p1 := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.DefaultSpec())
+	partitionAt(p1)
+	_, coord1, err := cluster.Run(context.Background(), p1, cfg, core.CampaignOpts{
+		Out:             &full,
+		CheckpointEvery: 24,
+		OnCheckpoint:    func(cp *core.Checkpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 3 {
+		t.Fatalf("expected >=3 checkpoints, got %d", len(cps))
+	}
+	if coord1.EpochRejections() == 0 {
+		t.Fatal("partition produced no epoch rejections — fault window missed the run")
+	}
+
+	// The checkpoint after the partition window opened: epochs > 1 for
+	// the fenced shards. Round-trip it through the framed encoding, as
+	// a real kill+resume would through disk.
+	src := cps[1]
+	if src.Cluster == nil {
+		t.Fatal("clustered checkpoint carries no cluster section")
+	}
+	var frame bytes.Buffer
+	if err := cluster.EncodeCheckpoint(&frame, src); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := cluster.DecodeCheckpoint(bytes.NewReader(frame.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var rest bytes.Buffer
+	p2 := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.DefaultSpec())
+	partitionAt(p2)
+	_, coord2, err := cluster.Resume(context.Background(), p2, cp, cfg, core.CampaignOpts{Out: &rest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := full.Bytes()[cp.OutOffset:]
+	if !bytes.Equal(rest.Bytes(), want) {
+		t.Fatalf("resumed cluster output diverges: %d bytes vs %d expected", rest.Len(), len(want))
+	}
+	if p2.Captures != p1.Captures {
+		t.Errorf("resumed Captures = %d, want %d", p2.Captures, p1.Captures)
+	}
+	if g, w := fmt.Sprintf("%+v", p2.Summary.Stats()), fmt.Sprintf("%+v", p1.Summary.Stats()); g != w {
+		t.Errorf("resumed Summary diverges:\n got %s\nwant %s", g, w)
+	}
+	claimed, completed, fenced, lost := coord2.TaskCounts()
+	if claimed != completed+fenced+lost {
+		t.Errorf("resumed task conservation violated: %d != %d+%d+%d", claimed, completed, fenced, lost)
+	}
+}
+
+// A checkpoint from a non-clustered campaign has no cluster section;
+// resuming a cluster from it must fail loudly with the typed error,
+// not silently start with fresh epochs.
+func TestClusterResumeRejectsMissingSection(t *testing.T) {
+	seed := chaos.Seeds()[0]
+	var cps []*core.Checkpoint
+	p := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.DefaultSpec())
+	if _, err := p.RunCampaign(context.Background(), core.CampaignOpts{
+		CheckpointEvery: 32,
+		OnCheckpoint:    func(cp *core.Checkpoint) { cps = append(cps, cp) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	p2 := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.DefaultSpec())
+	_, _, err := cluster.Resume(context.Background(), p2, cps[0], cluster.Config{Nodes: 3}, core.CampaignOpts{})
+	if !errors.Is(err, cluster.ErrLeaseTableMismatch) {
+		t.Fatalf("resume from non-cluster checkpoint: err = %v, want ErrLeaseTableMismatch", err)
+	}
+}
+
+// An epoch table that does not match the pipeline's shard decomposition
+// (wrong length — a checkpoint from a differently-sharded campaign)
+// is rejected with the typed error.
+func TestClusterResumeRejectsLeaseTableMismatch(t *testing.T) {
+	seed := chaos.Seeds()[0]
+	cp := clusterCheckpoint(t, seed)
+	cp.Cluster.Epochs = cp.Cluster.Epochs[:len(cp.Cluster.Epochs)/2]
+	p := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.DefaultSpec())
+	_, _, err := cluster.Resume(context.Background(), p, cp, cluster.Config{Nodes: 3}, core.CampaignOpts{})
+	if !errors.Is(err, cluster.ErrLeaseTableMismatch) {
+		t.Fatalf("resume with truncated epoch table: err = %v, want ErrLeaseTableMismatch", err)
+	}
+}
+
+// clusterCheckpoint runs a short clustered campaign and returns its
+// first checkpoint (JSON round-tripped, as a stored one would be).
+func clusterCheckpoint(t *testing.T, seed uint64) *core.Checkpoint {
+	t.Helper()
+	var cps []*core.Checkpoint
+	p := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.DefaultSpec())
+	_, _, err := cluster.Run(context.Background(), p, cluster.Config{Nodes: 3}, core.CampaignOpts{
+		CheckpointEvery: 32,
+		OnCheckpoint:    func(cp *core.Checkpoint) { cps = append(cps, cp) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	blob, err := json.Marshal(cps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := new(core.Checkpoint)
+	if err := json.Unmarshal(blob, cp); err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+// The framed coordinator checkpoint fails loudly on every kind of torn
+// or corrupt frame: cut anywhere (header, body, trailer), bad magic,
+// or a flipped body byte — always the typed ErrTruncatedCheckpoint,
+// never half a lease table.
+func TestCheckpointFrameRejectsTruncationAndCorruption(t *testing.T) {
+	seed := chaos.Seeds()[0]
+	cp := clusterCheckpoint(t, seed)
+
+	var frame bytes.Buffer
+	if err := cluster.EncodeCheckpoint(&frame, cp); err != nil {
+		t.Fatal(err)
+	}
+	whole := frame.Bytes()
+
+	rt, err := cluster.DecodeCheckpoint(bytes.NewReader(whole))
+	if err != nil {
+		t.Fatalf("round-trip decode: %v", err)
+	}
+	if rt.Cluster == nil || len(rt.Cluster.Epochs) != len(cp.Cluster.Epochs) {
+		t.Fatal("round-trip lost the cluster section")
+	}
+
+	for _, cut := range []int{0, 3, 8, len(whole) / 2, len(whole) - 3, len(whole) - 1} {
+		if _, err := cluster.DecodeCheckpoint(bytes.NewReader(whole[:cut])); !errors.Is(err, cluster.ErrTruncatedCheckpoint) {
+			t.Errorf("decode of %d/%d bytes: err = %v, want ErrTruncatedCheckpoint", cut, len(whole), err)
+		}
+	}
+
+	bad := append([]byte(nil), whole...)
+	bad[0] ^= 0xff // magic
+	if _, err := cluster.DecodeCheckpoint(bytes.NewReader(bad)); !errors.Is(err, cluster.ErrTruncatedCheckpoint) {
+		t.Errorf("decode with bad magic: err = %v, want ErrTruncatedCheckpoint", err)
+	}
+
+	bad = append([]byte(nil), whole...)
+	bad[len(bad)/2] ^= 0x20 // body corruption caught by the CRC
+	if _, err := cluster.DecodeCheckpoint(bytes.NewReader(bad)); !errors.Is(err, cluster.ErrTruncatedCheckpoint) {
+		t.Errorf("decode with flipped body byte: err = %v, want ErrTruncatedCheckpoint", err)
+	}
+}

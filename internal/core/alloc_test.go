@@ -26,7 +26,7 @@ func TestCaptureFastPathZeroAlloc(t *testing.T) {
 	}
 
 	allocs := testing.AllocsPerRun(1000, func() {
-		sh.feed = sh.feed[:0] // drained at the slice boundary
+		sh.events = sh.events[:0] // committed at the slice boundary
 		if err := p.captureVia(sh, vs, client); err != nil {
 			t.Fatal(err)
 		}
@@ -34,7 +34,11 @@ func TestCaptureFastPathZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Fatalf("capture fast path allocated %v times per run, want 0", allocs)
 	}
+	if len(sh.events) == 0 {
+		t.Fatal("capture not buffered")
+	}
+	p.commitShard(sh, nil)
 	if p.captures.Load() == 0 {
-		t.Fatal("captures not recorded")
+		t.Fatal("captures not recorded at commit")
 	}
 }

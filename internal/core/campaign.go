@@ -79,6 +79,26 @@ type Checkpoint struct {
 	// rewinds the store directory to exactly this state — the durable
 	// replacement for the fragile JSONL byte offset.
 	Store *store.Manifest `json:"store,omitempty"`
+	// Cluster is the coordinator's section, present only when the
+	// campaign ran under internal/cluster: the per-shard lease epochs
+	// (the fencing state — a resumed coordinator must keep rejecting
+	// the same dead epochs) and the cluster registry's counters. core
+	// itself never reads it; the coordinator fills it on checkpoint and
+	// validates it on resume.
+	Cluster *ClusterState `json:"cluster,omitempty"`
+}
+
+// ClusterState is the plain-data cluster checkpoint section (owned by
+// internal/cluster; defined here so Checkpoint stays one JSON
+// document).
+type ClusterState struct {
+	// Epochs is the lease table's per-shard fencing epoch, indexed by
+	// shard. Length must equal the pipeline's CollectShards on resume.
+	Epochs []uint64 `json:"epochs"`
+	// Obs carries the cluster's own metrics registry (lease, heartbeat
+	// and fencing families — kept out of the campaign registry so
+	// telemetry stays byte-identical across node counts).
+	Obs obs.Snapshot `json:"obs,omitempty"`
 }
 
 // PoolScoreMap is the checkpoint's vantage-score table. Its custom
@@ -139,6 +159,11 @@ type CampaignOpts struct {
 	// store directory is bit-identical across worker counts and across
 	// an interrupted-and-resumed run.
 	Store *store.Store
+	// Dispatch, when non-nil, replaces the built-in worker pool as the
+	// slice executor (see DispatchFunc). Incompatible with
+	// FullPacketNTP, whose fabric-side hook needs strictly serial
+	// shards.
+	Dispatch DispatchFunc
 }
 
 // countingWriter tracks the output byte offset for checkpoints.
@@ -265,6 +290,11 @@ func (p *Pipeline) ResumeCampaign(ctx context.Context, cp *Checkpoint, opts Camp
 // attached, flushing output and taking checkpoints at slice
 // boundaries.
 func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts CampaignOpts) (*analysis.Dataset, error) {
+	if opts.Dispatch != nil && p.Cfg.FullPacketNTP {
+		return nil, fmt.Errorf("core: campaign dispatcher is incompatible with FullPacketNTP (fabric hook needs serial shards)")
+	}
+	p.dispatch = opts.Dispatch
+	defer func() { p.dispatch = nil }()
 	p.recordCaps = true
 	sink := newOrderedSink(p.Cfg.Workers, opts.Out)
 	if p.restoreCp != nil && sink.cw != nil {

@@ -9,6 +9,7 @@ import (
 
 	"ntpscan/internal/analysis"
 	"ntpscan/internal/ntp"
+	"ntpscan/internal/obs"
 	"ntpscan/internal/rng"
 	"ntpscan/internal/world"
 )
@@ -47,14 +48,29 @@ type collectShard struct {
 	pkts    []ntp.Packet
 	clients []netip.AddrPort
 	oks     []bool
-	// feed buffers this shard's captures within the current slice;
-	// preallocated from the capture budget so steady-state appends never
-	// grow it.
-	feed []netip.Addr
-	// capLog buffers this shard's first-seen captures for the
-	// checkpoint log (only when the pipeline records captures); gathered
-	// in shard order at the slice boundary like feed.
-	capLog []CapRecord
+	// events buffers this shard's captures within the current slice —
+	// address, vantage, and channel, in exact capture order.
+	// Preallocated from the capture budget so steady-state appends
+	// never grow it. Nothing global is touched while a shard executes:
+	// the drain barrier replays each shard's events into the shared
+	// accumulators in ascending shard order (commitShard), which makes
+	// first-seen attribution — and so the checkpoint capture log and
+	// the store's capture rows — a pure function of the experiment,
+	// never of worker scheduling, and lets an external dispatcher
+	// discard a fenced execution without a trace.
+	events []capEvent
+	// dropped counts capture attempts lost per vantage this slice,
+	// folded into the capture_dropped_total vector at the barrier.
+	dropped []int64
+	// ntpMet is the shard's private NTP-counter buffer: the per-shard
+	// server clones account here, and the barrier folds the deltas into
+	// the fleet-wide families.
+	ntpMet *ntp.ServerMetrics
+	// respSet holds responsive-population indices whose guaranteed
+	// first capture landed this slice; committed into the shared bitmap
+	// at the barrier. Each index is visited at most once per slice, so
+	// deferring the bitmap write never changes an execution's reads.
+	respSet []int32
 	// volumeStats gates collection statistics: only volume-channel
 	// captures count toward Tables 1/4/7 and Figures 1/4. The
 	// responsive channel is a DeviceScale population — at full scale it
@@ -62,6 +78,14 @@ type collectShard struct {
 	// but at bench scale ratios it would swamp the AddrScale-denominated
 	// statistics (see DESIGN.md on the two-scale substitution).
 	volumeStats bool
+}
+
+// capEvent is one buffered capture: the facts the barrier needs to
+// replay the event against the shared accumulators.
+type capEvent struct {
+	addr    netip.Addr
+	vantage int32
+	volume  bool
 }
 
 // makeCollectShards derives the shard set. Shard i's streams are
@@ -84,7 +108,13 @@ func (p *Pipeline) makeCollectShards() []*collectShard {
 			ntp:     make([]*ntp.Server, len(p.Servers)),
 			reqBuf:  make([]byte, 0, ntp.PacketSize),
 			respBuf: make([]byte, 0, ntp.PacketSize),
-			feed:    make([]netip.Addr, 0, feedCap),
+			events:  make([]capEvent, 0, feedCap),
+			dropped: make([]int64, len(p.Servers)),
+			ntpMet: &ntp.ServerMetrics{
+				Requests:    obs.LocalCounter(),
+				Answered:    obs.LocalCounter(),
+				RateLimited: obs.LocalCounter(),
+			},
 		}
 		if p.restoreCp != nil && i < len(p.restoreCp.Shards) {
 			st := p.restoreCp.Shards[i]
@@ -103,10 +133,11 @@ func (p *Pipeline) makeCollectShards() []*collectShard {
 			vi := vs.idx
 			sh.ntp[vi] = ntp.NewServer(ntp.ServerConfig{
 				Now: p.W.Clock().Now,
-				// Shard clones account into the same books as the
-				// fabric-registered vantage servers: totals read per
-				// fleet, whichever path served the request.
-				Metrics: p.met.ntp,
+				// Shard clones account into the shard's private buffer;
+				// the barrier folds the deltas into the same books as the
+				// fabric-registered vantage servers, so totals still read
+				// per fleet, whichever path served the request.
+				Metrics: sh.ntpMet,
 				Capture: func(client netip.AddrPort, at time.Time) {
 					p.recordCaptureShard(sh, client.Addr(), vi, at)
 				},
@@ -238,22 +269,20 @@ func (p *Pipeline) collectFrom(startSlice int, batch func([]netip.Addr), drain f
 			p.Monitor.Check(vs.ID, p.W.Fabric().HostUp(vs.Addr, clock.Now()))
 		}
 		p.runShards(shards, workers, s, collectSlices, quotas)
-		// Drain barrier: merge per-shard buffers and fold the arenas'
-		// activity deltas into the obs counters, both in ascending shard
-		// order. Folding here — before telemetry and checkpoints run in
-		// onSlice — keeps every shard's pending delta at zero whenever a
-		// snapshot is cut, so resumed runs repeat the counter sequence
+		// Drain barrier: commit per-shard effect buffers (capture
+		// events, dedup attribution, drop and NTP counter deltas, the
+		// responsive bitmap) and fold the arenas' activity deltas into
+		// the obs counters, all in ascending shard order. Nothing global
+		// moved while shards executed, so the shared state sequence —
+		// including first-seen attribution and the capture log the store
+		// persists — is byte-stable across worker counts and node
+		// schedules. Folding here — before telemetry and checkpoints run
+		// in onSlice — keeps every shard's pending delta at zero whenever
+		// a snapshot is cut, so resumed runs repeat the counter sequence
 		// exactly.
 		var resident int64
 		for _, sh := range shards {
-			if batch != nil && len(sh.feed) > 0 {
-				batch(sh.feed)
-			}
-			sh.feed = sh.feed[:0]
-			if len(sh.capLog) > 0 {
-				p.capLog = append(p.capLog, sh.capLog...)
-				sh.capLog = sh.capLog[:0]
-			}
+			p.commitShard(sh, batch)
 			st := sh.arena.TakeStats()
 			p.met.arenaMat.Add(int64(st.Materializations))
 			p.met.arenaHits.Add(int64(st.Hits))
@@ -294,6 +323,78 @@ func (p *Pipeline) collectFrom(startSlice int, batch func([]netip.Addr), drain f
 	}
 }
 
+// commitShard replays one shard's buffered slice effects against the
+// pipeline's shared state: capture and distinct counters, the dedup
+// accumulators (whose first-seen attribution decides the checkpoint
+// capture log and the store's capture rows), per-vantage drop counts,
+// the shard clones' NTP counter deltas, the responsive first-capture
+// bitmap, and the scan feed. Called only at the drain barrier, in
+// ascending shard order — the single point where shard execution
+// touches global state. Until a shard is committed its execution can
+// be discarded and re-run (cluster fencing) with no global trace.
+func (p *Pipeline) commitShard(sh *collectShard, batch func([]netip.Addr)) {
+	if n := len(sh.events); n > 0 {
+		p.captures.Add(int64(n))
+		p.met.captures.Add(int64(n))
+	}
+	feed := p.feedBuf[:0]
+	for i := range sh.events {
+		ev := &sh.events[i]
+		if ev.volume {
+			vi := int(ev.vantage)
+			country := p.Servers[vi].Country
+			p.met.capEvents.Inc(vi)
+			p.euiShards.Add(ev.addr, country)
+			if p.sumShards.Add(ev.addr) {
+				p.perCountryN[vi].Add(1)
+				p.met.capDistinct.Inc(vi)
+				if p.recordCaps {
+					// First sighting: log it so a resume can replay the
+					// accumulator state. Only fresh addresses are logged —
+					// re-Adding each exactly once restores every dedup'd
+					// statistic.
+					p.capLog = append(p.capLog, CapRecord{Addr: ev.addr, Country: country})
+				}
+			}
+		}
+		feed = append(feed, ev.addr)
+	}
+	p.feedBuf = feed
+	if batch != nil && len(feed) > 0 {
+		batch(feed)
+	}
+	sh.events = sh.events[:0]
+	for vi := range sh.dropped {
+		if n := sh.dropped[vi]; n > 0 {
+			p.met.capDropped.Add(vi, n)
+			sh.dropped[vi] = 0
+		}
+	}
+	p.met.ntp.Requests.Add(sh.ntpMet.Requests.Take())
+	p.met.ntp.Answered.Add(sh.ntpMet.Answered.Take())
+	p.met.ntp.RateLimited.Add(sh.ntpMet.RateLimited.Take())
+	for _, i := range sh.respSet {
+		p.respCaptured[i] = true
+	}
+	sh.respSet = sh.respSet[:0]
+}
+
+// discardShardSlice drops a shard's uncommitted slice effects — the
+// forget half of the commit/discard pair external dispatchers use when
+// an execution is fenced. Stream and arena state are restored
+// separately (ShardRef.Restore); this only empties the effect buffers.
+func (sh *collectShard) discardSliceEffects() {
+	sh.events = sh.events[:0]
+	for i := range sh.dropped {
+		sh.dropped[i] = 0
+	}
+	sh.ntpMet.Requests.Take()
+	sh.ntpMet.Answered.Take()
+	sh.ntpMet.RateLimited.Take()
+	sh.respSet = sh.respSet[:0]
+	sh.volumeStats = false
+}
+
 // vantageUp reports whether the vantage is in pool rotation (monitor
 // score above the cutoff). Collection pauses for drained vantages; the
 // zone's sync traffic falls to the background servers meanwhile.
@@ -304,8 +405,17 @@ func (p *Pipeline) vantageUp(vs *VantageServer) bool {
 // runShards executes one slice across the shard set with up to workers
 // goroutines. Shards are picked up dynamically (they are independent,
 // so pickup order is irrelevant); with workers == 1 they run in order,
-// with activeShard routing for the FullPacketNTP fabric hook.
+// with activeShard routing for the FullPacketNTP fabric hook. A
+// campaign dispatcher, when installed, replaces the pool wholesale —
+// the cluster path, where leased nodes decide who runs what.
 func (p *Pipeline) runShards(shards []*collectShard, workers, s, slices int, quotas []collectQuota) {
+	if p.dispatch != nil {
+		refs := p.shardRefs(shards)
+		p.dispatch(s, refs, func(r ShardRef) {
+			p.runShardSlice(r.sh, s, slices, len(shards), quotas)
+		})
+		return
+	}
 	if workers <= 1 {
 		for _, sh := range shards {
 			if p.Cfg.FullPacketNTP {
@@ -404,11 +514,13 @@ func (p *Pipeline) responsiveShardSlice(sh *collectShard, s, slices, nshards int
 		}
 		if !p.respCaptured[i] {
 			// First capture, or catch-up after an outage/loss ate it.
-			// Shard sh owns index i, so the bitmap write is race-free.
+			// Shard sh owns index i and visits it once per slice, so
+			// buffering the bitmap write until the barrier never changes
+			// what this execution reads.
 			if p.vantageUp(vs) {
 				addr := p.W.CurrentAddr(dev, clock.Now())
 				if p.captureVia(sh, vs, addr) == nil {
-					p.respCaptured[i] = true
+					sh.respSet = append(sh.respSet, int32(i))
 				}
 			}
 			continue

@@ -225,6 +225,17 @@ type Pipeline struct {
 	recordCaps bool
 	capLog     []CapRecord
 
+	// feedBuf is commitShard's reusable scratch: one shard's slice feed
+	// (every captured address, duplicates included) built from its event
+	// buffer and handed to the scan batch callback at the barrier.
+	feedBuf []netip.Addr
+
+	// dispatch, when set, replaces the built-in worker pool as the
+	// executor of each slice's shard tasks (see CampaignOpts.Dispatch).
+	// refs caches the ShardRef handles handed to it.
+	dispatch DispatchFunc
+	refs     []ShardRef
+
 	// restoreCp, when set, seeds makeCollectShards with checkpointed
 	// stream positions instead of fresh derivations.
 	restoreCp *Checkpoint
@@ -345,36 +356,26 @@ func (p *Pipeline) recordCapture(addr netip.Addr, vantage int, at time.Time) {
 	p.recordCaptureShard(p.activeShard, addr, vantage, at)
 }
 
-// recordCaptureShard is the capture hook: dedup, statistics, and the
-// real-time feed. Statistics go to the sharded accumulators (safe and
-// order-independent under concurrency); the address itself lands in the
-// shard's feed buffer, merged in shard order at the slice boundary.
-// vantage indexes Pipeline.Servers; the country string is read off the
-// (immutable) server record only where needed.
+// recordCaptureShard is the capture hook. A shard-attributed capture
+// only appends to the shard's private event buffer — no shared state
+// moves until the drain barrier replays the buffer in ascending shard
+// order (commitShard). Deferring the dedup Adds to the barrier is what
+// makes first-seen attribution (and with it the checkpoint capture log
+// and the store's capture rows) independent of worker scheduling: two
+// shards first-capturing the same address in one slice now always
+// resolve in shard order, not in whichever-goroutine-got-there-first
+// order. Unattributed captures (stray fabric traffic outside a slice)
+// keep the immediate path — there is no barrier to defer to.
 func (p *Pipeline) recordCaptureShard(sh *collectShard, addr netip.Addr, vantage int, at time.Time) {
-	p.captures.Add(1)
-	p.met.captures.Inc()
-	if sh != nil && sh.volumeStats {
-		country := p.Servers[vantage].Country
-		p.met.capEvents.Inc(vantage)
-		p.euiShards.Add(addr, country)
-		if p.sumShards.Add(addr) {
-			p.perCountryN[vantage].Add(1)
-			p.met.capDistinct.Inc(vantage)
-			if p.recordCaps {
-				// First sighting: log it so a resume can replay the
-				// accumulator state. Only fresh addresses are logged —
-				// re-Adding each exactly once restores every dedup'd
-				// statistic.
-				sh.capLog = append(sh.capLog, CapRecord{Addr: addr, Country: country})
-			}
+	if sh == nil {
+		p.captures.Add(1)
+		p.met.captures.Inc()
+		if p.onAddr != nil {
+			p.onAddr(addr)
 		}
+		return
 	}
-	if sh != nil {
-		sh.feed = append(sh.feed, addr)
-	} else if p.onAddr != nil {
-		p.onAddr(addr)
-	}
+	sh.events = append(sh.events, capEvent{addr: addr, vantage: int32(vantage), volume: sh.volumeStats})
 }
 
 // captureVia routes one client sync through the vantage server: either
@@ -391,7 +392,7 @@ func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.
 		// completes, on either capture path. (The port draw above still
 		// happened, keeping the shard's stream schedule independent of
 		// the plan's timing.)
-		p.met.capDropped.Inc(vs.idx)
+		sh.dropped[vs.idx]++
 		return fmt.Errorf("core: vantage %s is down", vs.ID)
 	}
 	if p.Cfg.FullPacketNTP {
@@ -403,7 +404,7 @@ func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.
 			netip.AddrPortFrom(vs.Addr, ntp.Port),
 			p.W.Clock().Now, 10*time.Millisecond)
 		if err != nil {
-			p.met.capDropped.Inc(vs.idx)
+			sh.dropped[vs.idx]++
 		}
 		return err
 	}
@@ -412,7 +413,7 @@ func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.
 	resp, ok := sh.ntp[vs.idx].RespondAppend(netip.AddrPortFrom(client, port), sh.reqBuf, sh.respBuf[:0])
 	sh.respBuf = resp
 	if !ok {
-		p.met.capDropped.Inc(vs.idx)
+		sh.dropped[vs.idx]++
 		return fmt.Errorf("core: vantage %s dropped request", vs.ID)
 	}
 	return nil
@@ -443,7 +444,7 @@ func (p *Pipeline) volumeBatch(sh *collectShard, vs *VantageServer, n int) {
 		// fault plan's timing.
 		port := 40000 + uint16(sh.ports.Intn(20000))
 		if !fabric.HostUp(vs.Addr, now) {
-			p.met.capDropped.Inc(vs.idx)
+			sh.dropped[vs.idx]++
 			continue
 		}
 		clients = append(clients, netip.AddrPortFrom(addr, port))
@@ -466,7 +467,7 @@ func (p *Pipeline) volumeBatch(sh *collectShard, vs *VantageServer, n int) {
 	sh.respBuf, _ = sh.ntp[vs.idx].RespondBatch(clients, sh.reqBuf, sh.respBuf[:0], oks)
 	for i := range oks {
 		if !oks[i] {
-			p.met.capDropped.Inc(vs.idx)
+			sh.dropped[vs.idx]++
 		}
 	}
 }

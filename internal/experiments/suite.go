@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"ntpscan/internal/analysis"
+	"ntpscan/internal/cluster"
 	"ntpscan/internal/core"
 	"ntpscan/internal/hitlist"
 	"ntpscan/internal/store"
@@ -53,6 +54,12 @@ type Options struct {
 	// with the world's client mass; the scale ladder pins it so
 	// measurement effort stays fixed while only the world grows.
 	CaptureBudget int
+	// Nodes runs the NTP campaign through an internal/cluster of that
+	// many campaign nodes (coordinator, shard leases, heartbeats).
+	// Like Workers it is pure execution placement: every dataset and
+	// table is byte-identical at any node count. Zero or one keeps the
+	// single-process campaign.
+	Nodes int
 }
 
 func (o *Options) fill() {
@@ -109,17 +116,29 @@ func Run(opts Options) *Suite {
 	s := &Suite{Opts: opts, P: p}
 	ctx := context.Background()
 
+	runCampaign := func(copts core.CampaignOpts) (*analysis.Dataset, error) {
+		if opts.Nodes > 1 {
+			ds, _, err := cluster.Run(ctx, p, cluster.Config{Nodes: opts.Nodes}, copts)
+			return ds, err
+		}
+		return p.RunCampaign(ctx, copts)
+	}
 	if opts.StoreDir != "" {
 		st, err := store.Open(opts.StoreDir, store.Options{Obs: p.Obs})
 		if err == nil {
-			s.NTP, err = p.RunCampaign(ctx, core.CampaignOpts{Store: st})
+			s.NTP, err = runCampaign(core.CampaignOpts{Store: st})
 		}
 		if err != nil {
 			s.Err = err
 			return s
 		}
 	} else {
-		s.NTP = p.RunNTPCampaign(ctx)
+		var err error
+		s.NTP, err = runCampaign(core.CampaignOpts{})
+		if err != nil {
+			s.Err = err
+			return s
+		}
 	}
 	s.HL = p.BuildHitlist(hitlist.Config{})
 	s.Hitlist = p.ScanHitlist(ctx, s.HL)

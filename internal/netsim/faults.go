@@ -73,6 +73,59 @@ func (f *Fault) activeAt(at time.Time) bool {
 	return !at.Before(f.From) && at.Before(f.Until)
 }
 
+// NodeFaultKind selects the control-plane pathology a NodeFault
+// injects. Node faults scope to campaign-cluster nodes (by node index)
+// rather than fabric addresses: the cluster coordinator queries the
+// plan at each slice boundary, so node loss is as windowed,
+// deterministic and replayable as packet loss.
+type NodeFaultKind uint8
+
+const (
+	// NodeCrash kills the node for the window: it stops executing and
+	// stops heartbeating. A crash window opening strictly inside a
+	// slice models death-after-claim — the node's dispatched tasks are
+	// lost and re-dispatched within the slice. When the window closes
+	// the node rejoins and is re-leased from the coordinator's state.
+	NodeCrash NodeFaultKind = iota
+	// NodePartition isolates the node's control channel: heartbeats are
+	// lost, but the node keeps executing whatever leases it still
+	// believes valid — the zombie scenario. Its submissions carry the
+	// fenced epoch and are rejected; after its lease TTL passes it
+	// self-fences and idles until the window closes.
+	NodePartition
+	// NodeSlowHeartbeat delays the node's heartbeats by Delay. A delay
+	// beyond the coordinator's grace reads as a miss: leases expire and
+	// the node flaps without ever being down.
+	NodeSlowHeartbeat
+)
+
+// String names the kind for logs and test output.
+func (k NodeFaultKind) String() string {
+	switch k {
+	case NodeCrash:
+		return "node-crash"
+	case NodePartition:
+		return "node-partition"
+	case NodeSlowHeartbeat:
+		return "node-slow-heartbeat"
+	}
+	return "unknown"
+}
+
+// NodeFault is one scheduled node-level event; the window is
+// [From, Until) on the logical clock, like Fault's.
+type NodeFault struct {
+	Kind  NodeFaultKind `json:"kind"`
+	Node  int           `json:"node"`
+	From  time.Time     `json:"from"`
+	Until time.Time     `json:"until"`
+	Delay time.Duration `json:"delay,omitempty"` // NodeSlowHeartbeat added latency
+}
+
+func (f *NodeFault) activeAt(at time.Time) bool {
+	return !at.Before(f.From) && at.Before(f.Until)
+}
+
 // FaultPlan is an immutable schedule of faults plus the seed that
 // drives their stochastic decisions. Build one with Add, then install
 // it with Network.InstallFaults; do not mutate a plan after
@@ -80,6 +133,10 @@ func (f *Fault) activeAt(at time.Time) bool {
 type FaultPlan struct {
 	Seed   uint64  `json:"seed"`
 	Faults []Fault `json:"faults"`
+	// Nodes holds the plan's node-level faults. The fabric ignores them
+	// entirely — they gate nothing on the packet path — so a plan with
+	// only node faults leaves a single-process campaign untouched.
+	Nodes []NodeFault `json:"nodes,omitempty"`
 
 	// Indexes, built by InstallFaults: exact-address faults by address,
 	// prefix faults as a linear list (plans hold few prefixes).
@@ -90,6 +147,74 @@ type FaultPlan struct {
 // Add appends a fault to the plan.
 func (p *FaultPlan) Add(f Fault) {
 	p.Faults = append(p.Faults, f)
+}
+
+// AddNode appends a node-level fault to the plan.
+func (p *FaultPlan) AddNode(f NodeFault) {
+	p.Nodes = append(p.Nodes, f)
+}
+
+// NodeDown reports whether a crash window covers the node at the
+// instant.
+func (p *FaultPlan) NodeDown(node int, at time.Time) bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.Nodes {
+		f := &p.Nodes[i]
+		if f.Kind == NodeCrash && f.Node == node && f.activeAt(at) {
+			return true
+		}
+	}
+	return false
+}
+
+// NodePartitioned reports whether a partition window covers the node
+// at the instant.
+func (p *FaultPlan) NodePartitioned(node int, at time.Time) bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.Nodes {
+		f := &p.Nodes[i]
+		if f.Kind == NodePartition && f.Node == node && f.activeAt(at) {
+			return true
+		}
+	}
+	return false
+}
+
+// HeartbeatDelay returns the largest slow-heartbeat delay covering the
+// node at the instant (zero when none).
+func (p *FaultPlan) HeartbeatDelay(node int, at time.Time) time.Duration {
+	if p == nil {
+		return 0
+	}
+	var d time.Duration
+	for i := range p.Nodes {
+		f := &p.Nodes[i]
+		if f.Kind == NodeSlowHeartbeat && f.Node == node && f.activeAt(at) && f.Delay > d {
+			d = f.Delay
+		}
+	}
+	return d
+}
+
+// NodeDiesWithin reports whether a crash window *opens* strictly
+// inside (from, until] — the node looked alive at the slice's
+// heartbeat instant but dies before its dispatched work completes.
+// The cluster counts such tasks as lost and re-dispatches them.
+func (p *FaultPlan) NodeDiesWithin(node int, from, until time.Time) bool {
+	if p == nil {
+		return false
+	}
+	for i := range p.Nodes {
+		f := &p.Nodes[i]
+		if f.Kind == NodeCrash && f.Node == node && f.From.After(from) && !f.From.After(until) {
+			return true
+		}
+	}
+	return false
 }
 
 // build prepares the lookup indexes.

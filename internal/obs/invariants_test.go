@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"ntpscan/internal/chaos"
+	"ntpscan/internal/cluster"
 	"ntpscan/internal/core"
 	"ntpscan/internal/world"
 )
@@ -186,6 +187,76 @@ func TestConservationInvariantsUnderChaos(t *testing.T) {
 				} else {
 					prev = c
 				}
+			}
+		})
+	}
+}
+
+// The cluster's task-conservation law, under the canonical node-loss
+// schedule: every shard-slice task the coordinator dispatches is
+// accounted for exactly once —
+//
+//	cluster_tasks_claimed_total == cluster_tasks_completed_total
+//	                             + cluster_epoch_rejections_total
+//	                             + cluster_tasks_lost_total
+//
+// with cluster_tasks_inflight zero at quiescence, completed exactly
+// slices x shards (each shard-slice committed once, whatever was
+// fenced or lost on the way), and the campaign's own telemetry stream
+// byte-identical to the single-process run — the cluster keeps its
+// books on its own registry.
+func TestClusterTaskConservationUnderNodeLoss(t *testing.T) {
+	for _, seed := range chaos.Seeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			_, baseTel := runChaosCampaign(t, seed, 8)
+
+			var tel bytes.Buffer
+			p := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.NodeLossSpec(3, 1))
+			_, coord, err := cluster.Run(context.Background(), p, cluster.Config{Nodes: 3},
+				core.CampaignOpts{Telemetry: &tel})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			snap := coord.Obs.Snapshot()
+			series := func(key string) int64 {
+				vals, ok := snap[key]
+				if !ok {
+					t.Fatalf("cluster metric series %q not registered", key)
+				}
+				var s int64
+				for _, v := range vals {
+					s += v
+				}
+				return s
+			}
+			claimed := series("cluster_tasks_claimed_total")
+			completed := series("cluster_tasks_completed_total")
+			fenced := series("cluster_epoch_rejections_total")
+			lost := series("cluster_tasks_lost_total")
+			fallback := series("cluster_coordinator_fallbacks_total")
+			if claimed == 0 {
+				t.Fatal("cluster dispatched nothing")
+			}
+			if claimed != completed+fenced+lost {
+				t.Errorf("cluster task conservation violated: claimed %d != completed %d + fenced %d + lost %d",
+					claimed, completed, fenced, lost)
+			}
+			slices := value(t, p, "campaign_slices_total")
+			if want := slices * int64(p.Cfg.CollectShards); completed+fallback != want {
+				t.Errorf("committed executions %d (completed %d + fallback %d), want slices x shards = %d",
+					completed+fallback, completed, fallback, want)
+			}
+			if inflight := series("cluster_tasks_inflight"); inflight != 0 {
+				t.Errorf("cluster_tasks_inflight = %d at quiescence, want 0", inflight)
+			}
+			if hb, missed := series("cluster_heartbeats_total"), series("cluster_heartbeats_missed_total"); hb+missed != slices*3 {
+				t.Errorf("heartbeat books: %d arrived + %d missed != slices x nodes = %d", hb, missed, slices*3)
+			}
+			if !bytes.Equal(tel.Bytes(), baseTel.Bytes()) {
+				t.Errorf("clustered campaign telemetry diverges from single-process run (%d vs %d bytes)",
+					tel.Len(), baseTel.Len())
 			}
 		})
 	}

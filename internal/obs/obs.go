@@ -187,6 +187,14 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 	return &Counter{v: &m.vals[0]}
 }
 
+// LocalCounter returns a free-standing counter attached to no
+// registry: a private accumulation buffer whose owner folds it into a
+// registered family (and zeroes it with Take) at a synchronisation
+// point. Collection shards use these so hot-path increments stay off
+// shared cachelines and an execution can be discarded — buffered
+// counts dropped — before anything global saw them.
+func LocalCounter() *Counter { return &Counter{v: new(atomic.Int64)} }
+
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
 
@@ -195,6 +203,10 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value reads the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Take reads the current count and resets it to zero — the fold-and-
+// clear primitive behind LocalCounter buffers.
+func (c *Counter) Take() int64 { return c.v.Swap(0) }
 
 // CounterVec is a dense vector of counters over a fixed label set. The
 // index space is the caller's existing dense index; Inc/Add perform one
