@@ -1,8 +1,8 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet build test race bench bench-compare bench-scale \
-	profiles chaos fuzz-smoke cover cover-gate
+.PHONY: all check vet build test race bench bench-query bench-compare \
+	bench-scale profiles chaos fuzz-smoke cover cover-gate
 
 all: check
 
@@ -102,6 +102,27 @@ bench:
 	$(GO) run ./cmd/benchjson -pkg ./internal/store/ -bench '$(STORE_BENCH)' \
 		-baseline none -note "$(STORE_BENCH_NOTE)" -benchtime 1x -out BENCH_store.json
 
+# bench-query benchmarks the serving layer like a service and records
+# BENCH_query.json: cold vs warm selective queries (the decoded-block
+# cache win), the footer/dictionary cache in isolation, and the
+# concurrent-client harness — fixed request batches across 8 clients,
+# reporting per-request p50-ns/p99-ns and rps, plus the same workload
+# against a store a live campaign is writing into.
+QUERY_BENCH := BenchmarkQueryCold$$|BenchmarkQueryWarm$$|BenchmarkScanDictCacheOn$$|BenchmarkScanDictCacheOff$$|BenchmarkQueryConcurrent$$|BenchmarkQueryDuringCampaign$$
+QUERY_BENCH_NOTE := Query daemon serving benchmarks over an 8-slice x 1500-row store. \
+Cold opens the store fresh per query (empty caches); Warm repeats the same selective query against \
+one long-lived store, so the decoded-block cache absorbs disk, inflate and row decode — the \
+cold-vs-warm delta is the cache win. ScanDictCacheOn/Off isolate the parsed-footer (segment \
+dictionary) cache: block cache disabled, fully-pruned predicate (50 scans per op), so the delta \
+is pure footer read+parse work. QueryConcurrent drives a fixed 400-request mixed \
+workload (tables + pushdown scans) across 8 HTTP clients per iteration and reports per-request \
+p50-ns/p99-ns plus rps; QueryDuringCampaign runs the same workload while a campaign appends \
+slices and feeds the aggregates — the live-serving configuration.
+
+bench-query:
+	$(GO) run ./cmd/benchjson -pkg ./internal/query/ -bench '$(QUERY_BENCH)' \
+		-baseline none -note "$(QUERY_BENCH_NOTE)" -benchtime 1x -out BENCH_query.json
+
 # bench-compare is the regression gate: a fresh (non -race) benchmark
 # run diffed against the committed BENCH_pipeline.json "after" block.
 # Fails if bytes/op or allocs/op regress beyond 10% or ns/op beyond
@@ -112,6 +133,8 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -compare -benchtime 1x -out BENCH_pipeline.json
 	$(GO) run ./cmd/benchjson -pkg ./internal/store/ -bench '$(STORE_BENCH)' \
 		-compare -benchtime 1x -out BENCH_store.json
+	$(GO) run ./cmd/benchjson -pkg ./internal/query/ -bench '$(QUERY_BENCH)' \
+		-compare -benchtime 1x -out BENCH_query.json
 
 # bench-scale runs only the lazy-world memory scale ladder
 # (BenchmarkCampaignScale, SCALE=1/10/100 at fixed measurement effort)

@@ -22,6 +22,10 @@ make cover-gate
 # NTPSCAN_BENCH_COMPARE=1 (off by default: shared CI hosts make wall
 # time unreliable; allocation counts are what the gate really pins).
 if [ "${NTPSCAN_BENCH_COMPARE:-0}" = "1" ]; then
+  # bench-compare covers the pipeline, store, and query-serving
+  # baselines (BENCH_pipeline.json, BENCH_store.json, BENCH_query.json);
+  # the query leg also gates tail latency (p50-ns/p99-ns at the ns
+  # threshold).
   make bench-compare
   # Scale-ladder gate: SCALE=100 must hold under 20x the SCALE=1 live
   # heap, and no rung's live_heap_bytes may regress against the

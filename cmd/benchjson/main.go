@@ -40,6 +40,15 @@ type Bench struct {
 	// retains after GC, the resident-memory number the sub-linear
 	// ladder asserts on.
 	LiveHeapBytes float64 `json:"live_heap_bytes,omitempty"`
+	// P50Ns/P99Ns/RPS are the serving-benchmark metrics (p50-ns,
+	// p99-ns, rps): per-request latency percentiles and throughput
+	// from the query daemon's concurrent-client harness. The
+	// percentiles gate tail latency in -compare mode; rps is recorded
+	// for the report but not gated (it is the reciprocal view of the
+	// same measurement).
+	P50Ns float64 `json:"p50_ns,omitempty"`
+	P99Ns float64 `json:"p99_ns,omitempty"`
+	RPS   float64 `json:"rps,omitempty"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -67,7 +76,16 @@ type Section struct {
 	Results []Bench `json:"results"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op(?:\s+(\d+(?:\.\d+)?) live-heap-B)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+// benchLine parses one `go test -bench` result line. Custom metrics
+// print after ns/op sorted alphabetically by unit, so the optional
+// groups appear in exactly this order: live-heap-B < p50-ns < p99-ns
+// < rps, then the -benchmem columns.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op` +
+	`(?:\s+(\d+(?:\.\d+)?) live-heap-B)?` +
+	`(?:\s+(\d+(?:\.\d+)?) p50-ns)?` +
+	`(?:\s+(\d+(?:\.\d+)?) p99-ns)?` +
+	`(?:\s+(\d+(?:\.\d+)?) rps)?` +
+	`(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func parseBench(out string) []Bench {
 	var res []Bench
@@ -82,10 +100,19 @@ func parseBench(out string) []Bench {
 			b.LiveHeapBytes, _ = strconv.ParseFloat(m[3], 64)
 		}
 		if m[4] != "" {
-			b.BytesPerOp, _ = strconv.ParseFloat(m[4], 64)
+			b.P50Ns, _ = strconv.ParseFloat(m[4], 64)
 		}
 		if m[5] != "" {
-			b.AllocsPerOp, _ = strconv.ParseFloat(m[5], 64)
+			b.P99Ns, _ = strconv.ParseFloat(m[5], 64)
+		}
+		if m[6] != "" {
+			b.RPS, _ = strconv.ParseFloat(m[6], 64)
+		}
+		if m[7] != "" {
+			b.BytesPerOp, _ = strconv.ParseFloat(m[7], 64)
+		}
+		if m[8] != "" {
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[8], 64)
 		}
 		res = append(res, b)
 	}
@@ -233,6 +260,11 @@ func compareBaseline(path string, fresh []Bench, threshold, nsThreshold, heapThr
 		}
 		check(f.Name, "ns/op", f.NsPerOp, b.NsPerOp, nsThreshold)
 		check(f.Name, "live-heap-B", f.LiveHeapBytes, b.LiveHeapBytes, heapThreshold)
+		// Tail latency gates at the wall-time threshold: percentiles on
+		// shared CI hosts jitter like ns/op does. Throughput (rps) is the
+		// same measurement inverted, so it is recorded but not gated.
+		check(f.Name, "p50-ns", f.P50Ns, b.P50Ns, nsThreshold)
+		check(f.Name, "p99-ns", f.P99Ns, b.P99Ns, nsThreshold)
 		check(f.Name, "B/op", f.BytesPerOp, b.BytesPerOp, threshold)
 		check(f.Name, "allocs/op", f.AllocsPerOp, b.AllocsPerOp, threshold)
 	}

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"ntpscan/internal/store"
+	"ntpscan/internal/zgrab"
+)
+
+func seedStore(t *testing.T, dir string) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := []string{"http", "https", "ssh"}
+	for sl := 0; sl < 3; sl++ {
+		var caps []store.CaptureRow
+		var results []*zgrab.Result
+		for i := 0; i < 50; i++ {
+			var b [16]byte
+			b[0], b[1], b[2], b[3] = 0x20, 0x01, 0x0d, 0xb8
+			b[15] = byte(sl*50 + i)
+			addr := netip.AddrFrom16(b)
+			caps = append(caps, store.CaptureRow{Addr: addr, Vantage: "DE"})
+			results = append(results, &zgrab.Result{
+				IP: addr, Module: mods[i%len(mods)], Port: 443,
+				Time: time.Unix(0, int64(i)).UTC(), Status: zgrab.StatusSuccess,
+				Seq: int64(sl*1000 + i),
+			})
+		}
+		if err := st.AppendSlice(sl, caps, results); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Seal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startQueryd runs run() against args, waits for the status line, and
+// returns the parsed status plus a shutdown func that asserts exit 0.
+func startQueryd(t *testing.T, args []string) (status, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	pr, pw := io.Pipe()
+	done := make(chan int, 1)
+	var stderr bytes.Buffer
+	go func() {
+		code := run(ctx, args, pw, &stderr)
+		pw.Close()
+		done <- code
+	}()
+	var st status
+	if err := json.NewDecoder(pr).Decode(&st); err != nil {
+		cancel()
+		t.Fatalf("no status line: %v (stderr: %s)", err, stderr.String())
+	}
+	return st, func() {
+		cancel()
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("queryd exit %d (stderr: %s)", code, stderr.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("queryd did not shut down")
+		}
+	}
+}
+
+func TestQuerydOffline(t *testing.T) {
+	dir := t.TempDir()
+	seedStore(t, dir)
+	st, shutdown := startQueryd(t, []string{"-store", dir, "-listen", "127.0.0.1:0"})
+	defer shutdown()
+
+	if st.Mode != "offline" || st.Captures != 150 || st.Results != 150 {
+		t.Fatalf("status = %+v", st)
+	}
+	base := "http://" + st.Listening
+
+	resp, err := http.Get(base + "/v1/tables/modules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"module":"http"`)) {
+		t.Fatalf("modules: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/v1/query?kind=results&module=ssh&limit=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"stats"`)) {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte("queryd_requests_total")) {
+		t.Fatalf("metrics missing queryd families:\n%s", body)
+	}
+}
+
+func TestQuerydDemoServesDuringCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("demo campaign in -short")
+	}
+	st, shutdown := startQueryd(t, []string{"-demo-seed", "7", "-listen", "127.0.0.1:0"})
+	defer shutdown()
+	if st.Mode != "live" {
+		t.Fatalf("status = %+v", st)
+	}
+	base := "http://" + st.Listening
+	// Poll the modules table while the campaign runs: it must always
+	// answer, and eventually carry rows as slices drain.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/tables/modules")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var env struct {
+			Data []struct {
+				Module  string `json:"module"`
+				Results int64  `json:"results"`
+			} `json:"data"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("modules: %d %v", resp.StatusCode, err)
+		}
+		filled := false
+		for _, row := range env.Data {
+			if row.Results > 0 {
+				filled = true
+			}
+		}
+		if filled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("modules table never filled during demo campaign")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestQuerydArgErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), nil, &out, &errb); code != 2 {
+		t.Fatalf("no -store: exit %d", code)
+	}
+	if !strings.Contains(errb.String(), "-store is required") {
+		t.Fatalf("stderr: %s", errb.String())
+	}
+	if code := run(context.Background(), []string{"-bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	if code := run(context.Background(), []string{"-store", t.TempDir(), "-listen", "256.256.256.256:0"}, &out, &errb); code != 1 {
+		t.Fatalf("bad listen addr: exit %d", code)
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"ntpscan/internal/store"
+	"ntpscan/internal/zgrab"
+)
+
+// countingAggregator is a minimal SliceAggregator: it tallies rows and
+// snapshots the tallies, enough to pin the feed/checkpoint/restore
+// plumbing without internal/query (which has its own end-to-end
+// byte-identity suite against this interface).
+type countingAggregator struct {
+	Caps      int64 `json:"caps"`
+	Results   int64 `json:"results"`
+	Slices    int   `json:"slices"`
+	TailSeen  bool  `json:"tail_seen"`
+	restored  int
+	failFeed  bool
+	failSnap  bool
+	failRest  bool
+	snapshots int
+}
+
+func (a *countingAggregator) AggregateSlice(slice int, caps []store.CaptureRow, results []*zgrab.Result) error {
+	if a.failFeed {
+		return errors.New("aggregator feed boom")
+	}
+	a.Caps += int64(len(caps))
+	a.Results += int64(len(results))
+	a.Slices++
+	if caps == nil {
+		a.TailSeen = true
+	}
+	return nil
+}
+
+func (a *countingAggregator) Snapshot() (json.RawMessage, error) {
+	if a.failSnap {
+		return nil, errors.New("aggregator snapshot boom")
+	}
+	a.snapshots++
+	return json.Marshal(a)
+}
+
+func (a *countingAggregator) Restore(raw json.RawMessage) error {
+	if a.failRest {
+		return errors.New("aggregator restore boom")
+	}
+	a.restored++
+	return json.Unmarshal(raw, a)
+}
+
+// The aggregator sees exactly the rows the store appends — same
+// barrier, same data — and the tail flush arrives as a nil-caps slice.
+func TestAggregatorSeesStoreRows(t *testing.T) {
+	cfg := testConfig(45)
+	cfg.CaptureBudget = 1500
+	p := NewPipeline(cfg)
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{Obs: p.Obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := &countingAggregator{}
+	if _, err := p.RunCampaign(context.Background(), CampaignOpts{Store: st, Aggregates: agg}); err != nil {
+		t.Fatal(err)
+	}
+	caps, results, err := st.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Caps != caps || agg.Results != results {
+		t.Errorf("aggregator saw %d/%d rows, store holds %d/%d", agg.Caps, agg.Results, caps, results)
+	}
+	if !agg.TailSeen {
+		t.Error("tail flush never reached the aggregator")
+	}
+	if agg.Caps == 0 || agg.Results == 0 {
+		t.Fatalf("empty campaign (caps=%d results=%d)", agg.Caps, agg.Results)
+	}
+
+	// A store-less aggregator campaign feeds identical totals: the
+	// capture-row build must run for the aggregator alone too.
+	p2 := NewPipeline(cfg)
+	agg2 := &countingAggregator{}
+	if _, err := p2.RunCampaign(context.Background(), CampaignOpts{Aggregates: agg2}); err != nil {
+		t.Fatal(err)
+	}
+	if agg2.Caps != agg.Caps || agg2.Results != agg.Results || agg2.Slices != agg.Slices {
+		t.Errorf("store-less feed diverges: %+v vs %+v", agg2, agg)
+	}
+}
+
+// Checkpoints carry the aggregator snapshot; resume restores it and
+// the resumed run finishes with the uninterrupted run's totals.
+func TestAggregatorCheckpointResume(t *testing.T) {
+	cfg := testConfig(46)
+	cfg.CaptureBudget = 1500
+	var cps []*Checkpoint
+	p := NewPipeline(cfg)
+	full := &countingAggregator{}
+	if _, err := p.RunCampaign(context.Background(), CampaignOpts{
+		Aggregates:      full,
+		CheckpointEvery: 32,
+		OnCheckpoint:    func(cp *Checkpoint) { cps = append(cps, cp) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) == 0 || full.snapshots != len(cps) {
+		t.Fatalf("snapshots = %d, checkpoints = %d", full.snapshots, len(cps))
+	}
+	if cps[0].Aggregates == nil {
+		t.Fatal("checkpoint carries no aggregate snapshot")
+	}
+
+	p2 := NewPipeline(cfg)
+	resumed := &countingAggregator{}
+	if _, err := p2.ResumeCampaign(context.Background(), cps[0], CampaignOpts{Aggregates: resumed}); err != nil {
+		t.Fatal(err)
+	}
+	if resumed.restored != 1 {
+		t.Errorf("restored %d times, want 1", resumed.restored)
+	}
+	if resumed.Caps != full.Caps || resumed.Results != full.Results || !resumed.TailSeen {
+		t.Errorf("resumed totals %+v, want %+v", resumed, full)
+	}
+
+	// A checkpoint from an aggregator-less run is refused.
+	var plain []*Checkpoint
+	p3 := NewPipeline(cfg)
+	if _, err := p3.RunCampaign(context.Background(), CampaignOpts{
+		CheckpointEvery: 48,
+		OnCheckpoint:    func(cp *Checkpoint) { plain = append(plain, cp) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p4 := NewPipeline(cfg)
+	if _, err := p4.ResumeCampaign(context.Background(), plain[0], CampaignOpts{Aggregates: &countingAggregator{}}); err == nil {
+		t.Error("resume accepted a snapshot-less checkpoint with an aggregator attached")
+	}
+
+	// A restore failure surfaces before the slice loop starts.
+	p5 := NewPipeline(cfg)
+	if _, err := p5.ResumeCampaign(context.Background(), cps[0], CampaignOpts{Aggregates: &countingAggregator{failRest: true}}); err == nil {
+		t.Error("resume swallowed a Restore error")
+	}
+}
+
+// Aggregator errors — from the slice feed and from Snapshot — fail the
+// campaign instead of silently desynchronising the materialized view.
+func TestAggregatorErrorsFailCampaign(t *testing.T) {
+	cfg := testConfig(47)
+	cfg.CaptureBudget = 1000
+	p := NewPipeline(cfg)
+	_, err := p.RunCampaign(context.Background(), CampaignOpts{Aggregates: &countingAggregator{failFeed: true}})
+	if err == nil || !strings.Contains(err.Error(), "feed boom") {
+		t.Errorf("feed error not surfaced: %v", err)
+	}
+	p2 := NewPipeline(cfg)
+	_, err = p2.RunCampaign(context.Background(), CampaignOpts{
+		Aggregates:      &countingAggregator{failSnap: true},
+		CheckpointEvery: 24,
+		OnCheckpoint:    func(*Checkpoint) {},
+	})
+	if err == nil || !strings.Contains(err.Error(), "snapshot boom") {
+		t.Errorf("snapshot error not surfaced: %v", err)
+	}
+}

@@ -79,6 +79,12 @@ type Checkpoint struct {
 	// rewinds the store directory to exactly this state — the durable
 	// replacement for the fragile JSONL byte offset.
 	Store *store.Manifest `json:"store,omitempty"`
+	// Aggregates is the slice aggregator's snapshot (present only when
+	// the campaign ran with CampaignOpts.Aggregates). Resume restores
+	// the aggregator from it before re-entering the slice loop, so
+	// incrementally maintained query tables stay exactly consistent with
+	// the store the checkpoint pins.
+	Aggregates json.RawMessage `json:"aggregates,omitempty"`
 	// Cluster is the coordinator's section, present only when the
 	// campaign ran under internal/cluster: the per-shard lease epochs
 	// (the fencing state — a resumed coordinator must keep rejecting
@@ -164,6 +170,29 @@ type CampaignOpts struct {
 	// FullPacketNTP, whose fabric-side hook needs strictly serial
 	// shards.
 	Dispatch DispatchFunc
+	// Aggregates, when non-nil, observes every slice's drained data at
+	// the same barrier the store append runs at, letting a serving layer
+	// maintain materialized query tables incrementally instead of
+	// rescanning the store. Checkpoints carry its Snapshot and
+	// ResumeCampaign calls Restore, so aggregate state survives
+	// interruption exactly in step with the pinned store manifest.
+	Aggregates SliceAggregator
+}
+
+// SliceAggregator consumes each slice's quiescent drained data — the
+// capture rows and scan results the slice produced, in deterministic
+// order. AggregateSlice runs at the drain barrier on the campaign
+// goroutine; caps and results are only valid for the duration of the
+// call (the campaign reuses the backing arrays), so implementations
+// must copy what they keep. The post-Close result tail arrives as one
+// final synthetic slice (caps nil), mirroring the store's tail append.
+// Aggregate state must be order-insensitive in its snapshot: Snapshot
+// bytes are compared across worker counts and against full-store
+// recomputation.
+type SliceAggregator interface {
+	AggregateSlice(slice int, caps []store.CaptureRow, results []*zgrab.Result) error
+	Snapshot() (json.RawMessage, error)
+	Restore(json.RawMessage) error
 }
 
 // countingWriter tracks the output byte offset for checkpoints.
@@ -283,6 +312,14 @@ func (p *Pipeline) ResumeCampaign(ctx context.Context, cp *Checkpoint, opts Camp
 			return nil, err
 		}
 	}
+	if opts.Aggregates != nil {
+		if cp.Aggregates == nil {
+			return nil, fmt.Errorf("core: checkpoint carries no aggregate snapshot but an aggregator is attached")
+		}
+		if err := opts.Aggregates.Restore(cp.Aggregates); err != nil {
+			return nil, fmt.Errorf("core: restore aggregates: %w", err)
+		}
+	}
 	return p.runCampaignFrom(ctx, cp.NextSlice, opts)
 }
 
@@ -326,16 +363,24 @@ func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts Cam
 		}
 		// Store before telemetry: the slice's segment write lands in its
 		// own telemetry line and checkpoint snapshot, identically in full
-		// and resumed runs.
-		if opts.Store != nil {
+		// and resumed runs. The aggregator sees exactly the rows the store
+		// appends, at the same barrier.
+		if opts.Store != nil || opts.Aggregates != nil {
 			rows := capScratch[:0]
 			for _, c := range p.capLog[capBase:] {
 				rows = append(rows, store.CaptureRow{Addr: c.Addr, Vantage: c.Country})
 			}
 			capBase = len(p.capLog)
 			capScratch = rows
-			if err := opts.Store.AppendSlice(next-1, rows, sink.batch); err != nil && werr == nil {
-				werr = err
+			if opts.Store != nil {
+				if err := opts.Store.AppendSlice(next-1, rows, sink.batch); err != nil && werr == nil {
+					werr = err
+				}
+			}
+			if opts.Aggregates != nil {
+				if err := opts.Aggregates.AggregateSlice(next-1, rows, sink.batch); err != nil && werr == nil {
+					werr = err
+				}
 			}
 		}
 		// Telemetry before checkpointing: the line reflects the slice's
@@ -355,6 +400,13 @@ func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts Cam
 				m := opts.Store.Manifest()
 				cp.Store = &m
 			}
+			if opts.Aggregates != nil {
+				raw, err := opts.Aggregates.Snapshot()
+				if err != nil && werr == nil {
+					werr = err
+				}
+				cp.Aggregates = raw
+			}
 			opts.OnCheckpoint(cp)
 		}
 	})
@@ -362,13 +414,21 @@ func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts Cam
 	if err := sink.flush(); err != nil && werr == nil {
 		werr = err
 	}
+	// The post-Close drain can surface a result tail past the last
+	// collection slice; it lands on the synthetic slice collectSlices
+	// (for both the store and the aggregator), and sealing garbage-
+	// collects retired compaction inputs.
 	if opts.Store != nil {
-		// The post-Close drain can surface a result tail past the last
-		// collection slice; it lands on the synthetic slice collectSlices,
-		// and sealing garbage-collects retired compaction inputs.
 		if err := opts.Store.AppendSlice(collectSlices, nil, sink.batch); err != nil && werr == nil {
 			werr = err
 		}
+	}
+	if opts.Aggregates != nil {
+		if err := opts.Aggregates.AggregateSlice(collectSlices, nil, sink.batch); err != nil && werr == nil {
+			werr = err
+		}
+	}
+	if opts.Store != nil {
 		if err := opts.Store.Seal(); err != nil && werr == nil {
 			werr = err
 		}

@@ -1,0 +1,266 @@
+package query_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"ntpscan/internal/core"
+	"ntpscan/internal/query"
+	"ntpscan/internal/store"
+)
+
+// The serving benchmarks measure the daemon like a service: fixed
+// request batches across concurrent clients per iteration, with
+// per-request latencies folded into p50-ns / p99-ns and a throughput
+// rps metric (units chosen to sort into cmd/benchjson's expected
+// metric order). benchSlices/benchRows match the store package's
+// ingest benchmarks so numbers line up across BENCH files.
+const (
+	benchSlices = 8
+	benchRows   = 1500
+)
+
+var selectivePred = store.Pred{Kind: store.KindResults, Modules: []string{"http"}}
+
+func countScan(b *testing.B, st *store.Store, pred store.Pred) int {
+	b.Helper()
+	it := st.Scan(pred)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if err := it.Err(); err != nil {
+		b.Fatal(err)
+	}
+	it.Close()
+	return n
+}
+
+// BenchmarkQueryCold is the no-cache baseline: every iteration opens
+// the store fresh (empty block and footer caches) and runs one
+// selective query, paying footer parses, disk reads and inflates.
+func BenchmarkQueryCold(b *testing.B) {
+	dir := b.TempDir()
+	buildStore(b, dir, benchSlices, benchRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		countScan(b, st, selectivePred)
+	}
+}
+
+// BenchmarkQueryWarm is the steady state: one long-lived store, caches
+// primed by the first query, b.N repeats served from memory.
+func BenchmarkQueryWarm(b *testing.B) {
+	st := buildStore(b, b.TempDir(), benchSlices, benchRows)
+	countScan(b, st, selectivePred) // prime
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		countScan(b, st, selectivePred)
+	}
+}
+
+// BenchmarkScanDictCacheOn/Off isolate the parsed-footer (segment
+// dictionary) cache: the block cache is disabled in both and the
+// predicate names a module absent from every segment dictionary, so
+// each scan prunes every block and its cost is purely opening
+// segments and reading/parsing footers — exactly what the cache
+// elides. Many scans per iteration keep the timing out of the noise.
+func BenchmarkScanDictCacheOn(b *testing.B) {
+	benchDictCache(b, 0)
+}
+
+func BenchmarkScanDictCacheOff(b *testing.B) {
+	benchDictCache(b, -1)
+}
+
+func benchDictCache(b *testing.B, footerEntries int) {
+	dir := b.TempDir()
+	buildStore(b, dir, benchSlices, benchRows)
+	st, err := store.Open(dir, store.Options{BlockCacheBytes: -1, FooterCacheEntries: footerEntries})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// "telnet" is not in the bench corpus: the dictionary bitmask
+	// prunes every block, leaving only footer work.
+	pruned := store.Pred{Kind: store.KindResults, Modules: []string{"telnet"}}
+	if n := countScan(b, st, pruned); n != 0 { // prime (a no-op when disabled)
+		b.Fatalf("pruned scan returned %d rows", n)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 50; j++ {
+			countScan(b, st, pruned)
+		}
+	}
+}
+
+// serviceWorkload is the mixed request stream the concurrent
+// benchmarks replay: materialized tables and pushdown scans.
+var serviceWorkload = []string{
+	"/v1/tables/modules",
+	"/v1/tables/table2",
+	"/v1/tables/prefixes?n=10",
+	"/v1/tables/slices",
+	"/v1/query?kind=results&module=http&limit=200",
+	"/v1/query?kind=results&module=ssh&limit=200",
+	"/v1/query?kind=captures&vantage=DE&limit=200",
+	"/v1/tables/vantages",
+}
+
+// hammer fires total requests at base across nClients concurrent
+// clients, returning every request's latency.
+func hammer(b *testing.B, base string, nClients, total int) []int64 {
+	b.Helper()
+	lats := make([][]int64, nClients)
+	var wg sync.WaitGroup
+	per := total / nClients
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			own := make([]int64, 0, per)
+			for i := 0; i < per; i++ {
+				url := base + serviceWorkload[(c*per+i)%len(serviceWorkload)]
+				t0 := time.Now()
+				resp, err := http.Get(url)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				own = append(own, time.Since(t0).Nanoseconds())
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("GET %s: %d", url, resp.StatusCode)
+					return
+				}
+			}
+			lats[c] = own
+		}(c)
+	}
+	wg.Wait()
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	return all
+}
+
+// reportLatencies folds per-request latencies into the benchmark's
+// custom metrics: p50-ns, p99-ns and rps over the timed window.
+func reportLatencies(b *testing.B, all []int64, elapsed time.Duration) {
+	if len(all) == 0 {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	b.ReportMetric(float64(all[len(all)/2]), "p50-ns")
+	b.ReportMetric(float64(all[len(all)*99/100]), "p99-ns")
+	if elapsed > 0 {
+		b.ReportMetric(float64(len(all))/elapsed.Seconds(), "rps")
+	}
+}
+
+// BenchmarkQueryConcurrent measures the daemon under concurrent load:
+// each iteration is a fixed batch of 400 mixed requests across 8
+// clients against a warm server, so even -benchtime 1x yields stable
+// tail percentiles.
+func BenchmarkQueryConcurrent(b *testing.B) {
+	const (
+		nClients = 8
+		perIter  = 400
+	)
+	st := buildStore(b, b.TempDir(), benchSlices, benchRows)
+	agg, err := query.FromStore(st)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := query.NewServer(st, agg, nil)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	hammer(b, ts.URL, nClients, perIter) // warm caches and connections
+	var all []int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		all = append(all, hammer(b, ts.URL, nClients, perIter)...)
+	}
+	b.StopTimer()
+	reportLatencies(b, all, b.Elapsed())
+}
+
+// BenchmarkQueryDuringCampaign serves the same mixed workload while a
+// full campaign writes into the store and aggregates — queryd's
+// live-serving configuration. One iteration = one campaign with 4
+// clients querying throughout.
+func BenchmarkQueryDuringCampaign(b *testing.B) {
+	const nClients = 4
+	var all []int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := core.NewPipeline(campaignConfig(50, 8))
+		st, err := store.Open(b.TempDir(), store.Options{Obs: p.Obs})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg := query.NewAggregates()
+		srv := query.NewServer(st, agg, nil)
+		ts := httptest.NewServer(srv.Handler())
+		b.StartTimer()
+
+		stop := make(chan struct{})
+		lats := make([][]int64, nClients)
+		var wg sync.WaitGroup
+		for c := 0; c < nClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				var own []int64
+				for j := 0; ; j++ {
+					select {
+					case <-stop:
+						lats[c] = own
+						return
+					default:
+					}
+					url := ts.URL + serviceWorkload[(c+j)%len(serviceWorkload)]
+					t0 := time.Now()
+					resp, err := http.Get(url)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					own = append(own, time.Since(t0).Nanoseconds())
+				}
+			}(c)
+		}
+		if _, err := p.RunCampaign(context.Background(), core.CampaignOpts{Store: st, Aggregates: agg}); err != nil {
+			b.Fatal(err)
+		}
+		close(stop)
+		wg.Wait()
+		b.StopTimer()
+		for _, l := range lats {
+			all = append(all, l...)
+		}
+		ts.Close()
+		b.StartTimer()
+	}
+	b.StopTimer()
+	reportLatencies(b, all, b.Elapsed())
+}

@@ -1,0 +1,89 @@
+package store
+
+import "testing"
+
+// White-box unit tests for the cache edge branches the end-to-end
+// concurrent tests don't reach: nil (disabled) receivers, oversized
+// entries, duplicate inserts, and the footer generation clear.
+
+func TestBlockCacheEdgeCases(t *testing.T) {
+	var nilCache *blockCache
+	if _, found := nilCache.get(blockKey{}); found {
+		t.Error("nil cache reported a hit")
+	}
+	nilCache.put(blockKey{}, nil, 1) // must not panic
+	if nilCache.bytes() != 0 {
+		t.Error("nil cache reported bytes")
+	}
+	if newBlockCache(-1, nil) != nil {
+		t.Error("negative budget did not disable the cache")
+	}
+
+	c := newBlockCache(100, nil)
+	k1 := blockKey{seg: segKey{crc: 1, size: 10}, off: 0}
+
+	// An entry costlier than the whole budget is not cached.
+	c.put(k1, []Row{{Slice: 1}}, 101)
+	if _, found := c.get(k1); found || c.bytes() != 0 {
+		t.Errorf("oversized entry cached (bytes=%d)", c.bytes())
+	}
+
+	// A duplicate insert keeps the existing rows and charges nothing.
+	c.put(k1, []Row{{Slice: 1}}, 40)
+	c.put(k1, []Row{{Slice: 2}}, 40)
+	rows, found := c.get(k1)
+	if !found || len(rows) != 1 || rows[0].Slice != 1 {
+		t.Errorf("duplicate insert replaced entry: %v", rows)
+	}
+	if c.bytes() != 40 {
+		t.Errorf("bytes = %d, want 40", c.bytes())
+	}
+
+	// Filling past the budget evicts the LRU entry (k1: k2 was touched
+	// by get, keeping it fresher).
+	k2 := blockKey{seg: segKey{crc: 2, size: 20}, off: 0}
+	k3 := blockKey{seg: segKey{crc: 3, size: 30}, off: 0}
+	c.put(k2, nil, 40)
+	c.get(k2)
+	c.put(k3, nil, 40)
+	if _, found := c.get(k1); found {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, found := c.get(k2); !found {
+		t.Error("recently-used entry was evicted")
+	}
+	if c.bytes() != 80 {
+		t.Errorf("bytes = %d, want 80", c.bytes())
+	}
+}
+
+func TestFooterCacheEdgeCases(t *testing.T) {
+	var nilCache *footerCache
+	if nilCache.get(SegmentInfo{}) != nil {
+		t.Error("nil cache reported a hit")
+	}
+	nilCache.put(SegmentInfo{}, nil) // must not panic
+	if newFooterCache(-1) != nil {
+		t.Error("negative bound did not disable the cache")
+	}
+
+	c := newFooterCache(2)
+	s1 := SegmentInfo{CRC32: 1, Size: 10}
+	s2 := SegmentInfo{CRC32: 2, Size: 20}
+	s3 := SegmentInfo{CRC32: 3, Size: 30}
+	seg := &segment{}
+	c.put(s1, seg)
+	c.put(s2, seg)
+	if c.get(s1) != seg || c.get(s2) != seg {
+		t.Error("cached footers not returned")
+	}
+	// Hitting the bound drops the whole generation; the new entry
+	// lands in a fresh map.
+	c.put(s3, seg)
+	if c.get(s1) != nil || c.get(s2) != nil {
+		t.Error("generation clear kept old entries")
+	}
+	if c.get(s3) != seg {
+		t.Error("post-clear insert missing")
+	}
+}

@@ -19,6 +19,16 @@ type Metrics struct {
 	BlocksSkipped *obs.Counter
 	BytesRead     *obs.Counter
 	BytesSkipped  *obs.Counter
+
+	// Read-path cache families: the decoded-block LRU and the parsed-
+	// footer (segment dictionary) cache that turn repeated selective
+	// scans into a hot read path.
+	BlockCacheHits      *obs.Counter
+	BlockCacheMisses    *obs.Counter
+	BlockCacheEvictions *obs.Counter
+	BlockCacheBytes     *obs.Gauge
+	FooterCacheHits     *obs.Counter
+	FooterCacheMisses   *obs.Counter
 }
 
 // NewMetrics registers (or re-binds, registries are get-or-create) the
@@ -34,5 +44,12 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		BlocksSkipped:     reg.NewCounter("store_blocks_skipped_total", "Column blocks skipped by predicate pushdown."),
 		BytesRead:         reg.NewCounter("store_bytes_read_total", "Block bytes read by query scans."),
 		BytesSkipped:      reg.NewCounter("store_bytes_skipped_total", "Block bytes skipped by predicate pushdown."),
+
+		BlockCacheHits:      reg.NewCounter("store_block_cache_hits_total", "Scanned blocks served from the decoded-block cache."),
+		BlockCacheMisses:    reg.NewCounter("store_block_cache_misses_total", "Scanned blocks read from disk and inflated on a cache miss."),
+		BlockCacheEvictions: reg.NewCounter("store_block_cache_evictions_total", "Decoded blocks evicted to hold the cache byte budget."),
+		BlockCacheBytes:     reg.NewGauge("store_block_cache_bytes", "Decoded bytes currently resident in the block cache."),
+		FooterCacheHits:     reg.NewCounter("store_footer_cache_hits_total", "Segment footers (indexes and dictionaries) served from cache."),
+		FooterCacheMisses:   reg.NewCounter("store_footer_cache_misses_total", "Segment footers read and parsed from disk."),
 	}
 }

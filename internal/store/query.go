@@ -3,7 +3,6 @@ package store
 import (
 	"net/netip"
 	"os"
-	"path/filepath"
 
 	"ntpscan/internal/zgrab"
 )
@@ -35,7 +34,9 @@ type Pred struct {
 }
 
 // Row is one scan hit: a capture event or a zgrab result, with the
-// collection slice it was appended under.
+// collection slice it was appended under. Rows may be served from the
+// shared decoded-block cache, so Result pointers can be handed to
+// several concurrent scans — treat rows as immutable.
 type Row struct {
 	Kind    Kind
 	Slice   int
@@ -44,13 +45,20 @@ type Row struct {
 }
 
 // ScanStats reports what a scan touched versus what the sparse index
-// let it skip — the evidence that predicate pushdown prunes.
+// let it skip — the evidence that predicate pushdown prunes — plus how
+// much of the touched data the decoded-block cache absorbed. BlocksRead
+// counts blocks the scan had to decode rows from (not skipped by the
+// index); of those, CacheHits were served from the cache without disk
+// I/O or decompression, and only CacheMisses cost a read and an
+// inflate.
 type ScanStats struct {
 	Segments      int
 	BlocksRead    int64
 	BlocksSkipped int64
 	BytesRead     int64
 	BytesSkipped  int64
+	CacheHits     int64
+	CacheMisses   int64
 }
 
 // Iter streams rows matching a predicate in canonical order: segments
@@ -91,8 +99,16 @@ type Iter struct {
 }
 
 // Scan opens a streaming iterator over all live rows matching pred.
+// The iterator works against a point-in-time snapshot of the manifest,
+// so it is safe to run while AppendSlice and compaction mutate the
+// store: slices appended after Scan are not seen, and segments a
+// compaction retires mid-scan remain readable through their retired
+// names until Seal garbage-collects them.
 func (s *Store) Scan(pred Pred) *Iter {
-	it := &Iter{s: s, pred: pred, segs: s.man.clone().Segments}
+	s.mu.RLock()
+	segs := s.man.clone().Segments
+	s.mu.RUnlock()
+	it := &Iter{s: s, pred: pred, segs: segs}
 	if pred.Prefix.IsValid() {
 		it.hasPrefix = true
 		it.keyLo, it.keyHi = prefixKeyRange(pred.Prefix)
@@ -212,41 +228,67 @@ func (it *Iter) matchRow(r Row) bool {
 	return true
 }
 
-// loadBlock reads and decodes the current segment's block blkIdx into
-// the row buffer, keeping only matching rows.
+// loadBlock produces the current segment's block blkIdx into the row
+// buffer, keeping only matching rows. The block's decoded rows come
+// from the store's block cache when present; a miss reads the body
+// from the segment file, inflates it, decodes every row once, and
+// populates the cache. Cached rows are shared read-only across
+// concurrent iterators — only the filtered view in it.buf is private.
 func (it *Iter) loadBlock(bi blockIndex) error {
-	if it.file == nil {
-		f, err := os.Open(filepath.Join(it.s.dir, it.segs[it.segIdx-1].Name))
+	si := it.segs[it.segIdx-1]
+	key := blockKey{seg: segKey{si.CRC32, si.Size}, off: bi.Off}
+	rows, cached := it.s.blocks.get(key)
+	if cached {
+		it.stats.CacheHits++
+	} else {
+		if it.s.blocks != nil {
+			it.stats.CacheMisses++
+		}
+		if it.file == nil {
+			f, err := it.s.openSegmentFile(si.Name)
+			if err != nil {
+				return err
+			}
+			it.file = f
+		}
+		raw, err := readBlockRaw(it.file, bi)
 		if err != nil {
 			return err
 		}
-		it.file = f
-	}
-	raw, err := readBlockRaw(it.file, bi)
-	if err != nil {
-		return err
+		rows, err = decodeRows(raw, bi.Kind)
+		if err != nil {
+			return err
+		}
+		it.s.blocks.put(key, rows, int64(len(raw)))
 	}
 	it.buf = it.buf[:0]
 	it.bufPos = 0
-	switch bi.Kind {
-	case KindCaptures:
-		return decodeCaptureBlock(raw, func(c CaptureRow, slice int) error {
-			r := Row{Kind: KindCaptures, Slice: slice, Capture: c}
-			if it.matchRow(r) {
-				it.buf = append(it.buf, r)
-			}
-			return nil
-		})
-	case KindResults:
-		return decodeResultBlock(raw, func(res *zgrab.Result, slice int) error {
-			r := Row{Kind: KindResults, Slice: slice, Result: res}
-			if it.matchRow(r) {
-				it.buf = append(it.buf, r)
-			}
-			return nil
-		})
+	for _, r := range rows {
+		if it.matchRow(r) {
+			it.buf = append(it.buf, r)
+		}
 	}
-	return errCorrupt
+	return nil
+}
+
+// decodeRows materialises every row of a decompressed block body.
+func decodeRows(raw []byte, kind Kind) ([]Row, error) {
+	var rows []Row
+	switch kind {
+	case KindCaptures:
+		err := decodeCaptureBlock(raw, func(c CaptureRow, slice int) error {
+			rows = append(rows, Row{Kind: KindCaptures, Slice: slice, Capture: c})
+			return nil
+		})
+		return rows, err
+	case KindResults:
+		err := decodeResultBlock(raw, func(res *zgrab.Result, slice int) error {
+			rows = append(rows, Row{Kind: KindResults, Slice: slice, Result: res})
+			return nil
+		})
+		return rows, err
+	}
+	return nil, errCorrupt
 }
 
 // Next advances to the next matching row.
@@ -313,6 +355,8 @@ func (it *Iter) Close() error {
 		m.BlocksSkipped.Add(st.BlocksSkipped)
 		m.BytesRead.Add(st.BytesRead)
 		m.BytesSkipped.Add(st.BytesSkipped)
+		m.BlockCacheHits.Add(st.CacheHits)
+		m.BlockCacheMisses.Add(st.CacheMisses)
 		it.flushed = true
 	}
 	return nil

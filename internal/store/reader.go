@@ -8,13 +8,45 @@ import (
 	"path/filepath"
 )
 
-// openSegment reads and validates a live segment's footer — trailer
-// magic, footer CRC, block index bounds — without touching any block
-// payloads. It returns the parsed sparse index and the file size.
+// openSegmentFile opens a live segment by name, falling back to its
+// .retired name. Compaction retires inputs by rename, and ResetTo
+// resurrects them the same way, so a reader racing either transition
+// sees the bytes under exactly one of the two names at any instant; two
+// rounds over both names close the rename window. Renames never
+// invalidate an already-open descriptor, so an iterator that holds the
+// file is immune regardless.
+func (s *Store) openSegmentFile(name string) (*os.File, error) {
+	var err error
+	for i := 0; i < 2; i++ {
+		var f *os.File
+		if f, err = os.Open(filepath.Join(s.dir, name)); err == nil {
+			return f, nil
+		}
+		if f, err = os.Open(filepath.Join(s.dir, name+retiredSuffix)); err == nil {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("store: %w", err)
+}
+
+// openSegment returns a live segment's parsed footer — trailer magic,
+// footer CRC, block index bounds, segment dictionaries, bloom filter —
+// without touching any block payloads. Parsed footers are cached by
+// segment content identity, so repeated scans (the query daemon's
+// steady state) skip the read and re-parse entirely.
 func (s *Store) openSegment(si SegmentInfo) (*segment, int64, error) {
-	f, err := os.Open(filepath.Join(s.dir, si.Name))
+	if seg := s.feet.get(si); seg != nil {
+		if s.met != nil {
+			s.met.FooterCacheHits.Inc()
+		}
+		return seg, si.Size, nil
+	}
+	if s.met != nil {
+		s.met.FooterCacheMisses.Inc()
+	}
+	f, err := s.openSegmentFile(si.Name)
 	if err != nil {
-		return nil, 0, fmt.Errorf("store: %w", err)
+		return nil, 0, err
 	}
 	defer f.Close()
 	st, err := f.Stat()
@@ -49,10 +81,11 @@ func (s *Store) openSegment(si SegmentInfo) (*segment, int64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: segment %s: %w", si.Name, err)
 	}
+	s.feet.put(si, seg)
 	return seg, size, nil
 }
 
-// readBlock reads and decodes one block's rows from an open segment
+// readBlockRaw reads and decodes one block's body from an open segment
 // file.
 func readBlockRaw(f *os.File, bi blockIndex) ([]byte, error) {
 	buf := make([]byte, bi.Len)

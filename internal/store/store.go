@@ -53,6 +53,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 
 	"ntpscan/internal/obs"
 	"ntpscan/internal/zgrab"
@@ -78,6 +79,18 @@ type Options struct {
 	// (s+1)%K == 0 the pending L0 segments are merged into one L1
 	// segment. 0 uses the default (8); negative disables compaction.
 	CompactEvery int
+	// BlockCacheBytes bounds the decoded-block LRU shared by every scan
+	// on this store: each visited block's rows are decoded once and kept
+	// (keyed by segment content identity, so compaction and ResetTo need
+	// no invalidation) until the budget — accounted in decompressed
+	// block-body bytes — fills. Cached rows are shared read-only across
+	// scans. 0 uses DefaultBlockCacheBytes; negative disables the cache.
+	BlockCacheBytes int64
+	// FooterCacheEntries bounds the parsed-footer cache (block indexes,
+	// segment dictionaries, bloom filters), which otherwise re-reads and
+	// re-parses every visited segment's footer per Scan. 0 uses
+	// DefaultFooterCacheEntries; negative disables the cache.
+	FooterCacheEntries int
 }
 
 // DefaultCompactEvery is the compaction cadence when Options leaves it
@@ -124,17 +137,32 @@ func (m Manifest) clone() Manifest {
 	return out
 }
 
-// Store is an open store directory. Methods are not safe for
-// concurrent use: the campaign appends at drain barriers and queries
-// run against quiescent stores.
+// Store is an open store directory. One writer (the campaign's drain
+// barrier) and any number of concurrent readers are safe: mutating
+// methods hold the write lock while readers snapshot the manifest under
+// the read lock, and a running iterator works against its snapshot —
+// segments a compaction retires mid-query are reopened through their
+// .retired name (see openSegmentFile). Concurrent writers are not
+// supported: appends are strictly ordered, like the collection slices
+// that feed them.
 type Store struct {
 	dir string
 	opt Options
 	met *Metrics
+
+	// mu guards man and nextSlice. Writers (AppendSlice, compaction,
+	// ResetTo, Seal) take it exclusively; Scan/Manifest/Rows take the
+	// read side just long enough to snapshot the segment list.
+	mu  sync.RWMutex
 	man Manifest
 	// nextSlice is the lowest slice id AppendSlice accepts — appends
 	// are strictly ordered, like the collection slices that feed them.
 	nextSlice int
+
+	// feet and blocks are the read path's caches (see cache.go). Either
+	// may be nil (disabled).
+	feet   *footerCache
+	blocks *blockCache
 }
 
 // Open opens (creating if needed) the store directory and recovers it
@@ -151,6 +179,8 @@ func Open(dir string, opt Options) (*Store, error) {
 	if opt.Obs != nil {
 		s.met = NewMetrics(opt.Obs)
 	}
+	s.feet = newFooterCache(opt.FooterCacheEntries)
+	s.blocks = newBlockCache(opt.BlockCacheBytes, s.met)
 	if err := s.recover(); err != nil {
 		return nil, err
 	}
@@ -258,6 +288,8 @@ func (s *Store) validSegment(si SegmentInfo) error {
 // Manifest returns a deep copy of the live segment list, suitable for
 // embedding in a campaign checkpoint.
 func (s *Store) Manifest() Manifest {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.man.clone()
 }
 
@@ -270,6 +302,13 @@ func (s *Store) Dir() string { return s.dir }
 // compaction, so the segment layout is a pure function of the appended
 // data. Slices must arrive in strictly increasing order.
 func (s *Store) AppendSlice(slice int, caps []CaptureRow, results []*zgrab.Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendSlice(slice, caps, results)
+}
+
+// appendSlice is AppendSlice with s.mu held.
+func (s *Store) appendSlice(slice int, caps []CaptureRow, results []*zgrab.Result) error {
 	if slice < s.nextSlice {
 		return fmt.Errorf("store: slice %d appended out of order (next %d)", slice, s.nextSlice)
 	}
@@ -300,7 +339,9 @@ func (s *Store) AppendSlice(slice int, caps []CaptureRow, results []*zgrab.Resul
 // campaign (e.g. a standalone v6scan run): each call becomes one
 // segment on the next synthetic slice.
 func (s *Store) AppendResults(results []*zgrab.Result) error {
-	return s.AppendSlice(s.nextSlice, nil, results)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendSlice(s.nextSlice, nil, results)
 }
 
 // writeSegment finalises the builder, stages the file, renames it into
@@ -364,6 +405,8 @@ func (s *Store) persistManifest() error {
 // checkpoint was taken, so a resumed campaign reproduces the
 // uninterrupted run's directory byte-for-byte.
 func (s *Store) ResetTo(m Manifest) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, si := range m.Segments {
 		// A segment consumed by a post-checkpoint compaction is
 		// resurrected from its retired copy.
@@ -397,6 +440,8 @@ func (s *Store) ResetTo(m Manifest) error {
 // collected (no checkpoint taken before this point will be resumed
 // past a completed run). The store remains readable and appendable.
 func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	ents, err := os.ReadDir(s.dir)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -412,7 +457,10 @@ func (s *Store) Seal() error {
 // Rows returns the total live row count by kind, from the manifest and
 // footers (no block reads).
 func (s *Store) Rows() (captures, results int64, err error) {
-	for _, si := range s.man.Segments {
+	s.mu.RLock()
+	segs := append([]SegmentInfo(nil), s.man.Segments...)
+	s.mu.RUnlock()
+	for _, si := range segs {
 		seg, _, err := s.openSegment(si)
 		if err != nil {
 			return 0, 0, err
