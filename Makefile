@@ -31,15 +31,18 @@ race:
 # leg runs the cluster campaign (Nodes=3, a mid-campaign kill plus a
 # control-plane partition per run) over the same seed matrix, demanding
 # byte-identical output, epoch-fenced zombie submissions, and the
-# cluster task-conservation law. A final leg re-runs the end-to-end
-# campaign suites for one seed at 10x world scale against the lazy
-# (arena-materialized) world — same faults, same oracles, sub-linear
-# memory path.
+# cluster task-conservation law; the transport leg repeats it with the
+# control plane over a real loopback socket (coordinator served by the
+# HTTP transport, nodes dialing back as wire clients, Nodes=1/3/8),
+# plus the fabric restart/reconnect and multi-replica drivers. A final
+# leg re-runs the end-to-end campaign suites for one seed at 10x world
+# scale against the lazy (arena-materialized) world — same faults, same
+# oracles, sub-linear memory path.
 chaos:
 	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
 		$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/zgrab/ ./internal/core/ ./internal/obs/ ./internal/store/
 	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
-		$(GO) test -race ./internal/cluster/
+		$(GO) test -race ./internal/cluster/ ./internal/cluster/transport/ ./cmd/clusterd/
 	NTPSCAN_CHAOS_SEEDS=23 NTPSCAN_CHAOS_SCALE=10 NTPSCAN_CHAOS_LAZY=1 \
 		$(GO) test -race ./internal/chaos/ ./internal/obs/
 
@@ -58,7 +61,8 @@ FUZZ_TARGETS := \
 	./internal/proto/httpx:FuzzExtractTitle \
 	./internal/proto/mqttx:FuzzReadPacket \
 	./internal/proto/mqttx:FuzzDecodeConnect \
-	./internal/store:FuzzSegmentDecode
+	./internal/store:FuzzSegmentDecode \
+	./internal/cluster/transport:FuzzTransportFrameDecode
 
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \

@@ -9,6 +9,9 @@ go test -race ./...
 # including the node-loss leg: cluster campaigns (Nodes=3) with a
 # mid-campaign node kill and a control-plane partition per run, under
 # -race, demanding byte-identical output and fenced zombie results.
+# The transport leg repeats the node-loss campaigns with the control
+# plane over a real loopback socket (Nodes=1/3/8) and adds the fabric
+# restart/reconnect and clusterd daemon drivers.
 make chaos
 # Fuzz smoke: every fuzz target for a short burst on its seed corpus.
 # NTPSCAN_FUZZTIME overrides the per-target budget.

@@ -1,10 +1,8 @@
 package cluster
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"io"
 
 	"ntpscan/internal/core"
@@ -12,14 +10,11 @@ import (
 
 // Framed coordinator-checkpoint encoding. The coordinator is the one
 // component whose loss must not lose the campaign, so its checkpoint
-// gets a self-verifying frame rather than bare JSON:
-//
-//	magic "ntpc" | uint32 body length | body (checkpoint JSON) | crc32(body)
-//
-// all fixed-width fields little-endian, CRC over the body with the
-// IEEE polynomial. A frame cut short anywhere — header, body, or
-// trailer — or whose CRC disagrees decodes to ErrTruncatedCheckpoint,
-// never to a silently half-restored lease table.
+// gets a self-verifying frame (see frame.go) rather than bare JSON:
+// the body is the checkpoint JSON under the "ntpc" magic. A frame cut
+// short anywhere — header, body, or trailer — or whose CRC disagrees
+// decodes to ErrTruncatedCheckpoint, never to a silently half-restored
+// lease table.
 
 var checkpointMagic = [4]byte{'n', 't', 'p', 'c'}
 
@@ -29,19 +24,7 @@ func EncodeCheckpoint(w io.Writer, cp *core.Checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("cluster: encode checkpoint: %w", err)
 	}
-	head := make([]byte, 8)
-	copy(head, checkpointMagic[:])
-	binary.LittleEndian.PutUint32(head[4:], uint32(len(body)))
-	if _, err := w.Write(head); err != nil {
-		return err
-	}
-	if _, err := w.Write(body); err != nil {
-		return err
-	}
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(body))
-	_, err = w.Write(tail[:])
-	return err
+	return EncodeFrame(w, checkpointMagic, body)
 }
 
 // DecodeCheckpoint reads one framed checkpoint. Truncation or
@@ -49,24 +32,9 @@ func EncodeCheckpoint(w io.Writer, cp *core.Checkpoint) error {
 // (wrapped with the detail), so a resume from a torn coordinator write
 // fails loudly instead of continuing from half a lease table.
 func DecodeCheckpoint(r io.Reader) (*core.Checkpoint, error) {
-	head := make([]byte, 8)
-	if _, err := io.ReadFull(r, head); err != nil {
-		return nil, fmt.Errorf("%w: frame header: %v", ErrTruncatedCheckpoint, err)
-	}
-	if [4]byte(head[:4]) != checkpointMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrTruncatedCheckpoint, head[:4])
-	}
-	n := binary.LittleEndian.Uint32(head[4:])
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, fmt.Errorf("%w: body (%d bytes): %v", ErrTruncatedCheckpoint, n, err)
-	}
-	var tail [4]byte
-	if _, err := io.ReadFull(r, tail[:]); err != nil {
-		return nil, fmt.Errorf("%w: crc trailer: %v", ErrTruncatedCheckpoint, err)
-	}
-	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail[:]); got != want {
-		return nil, fmt.Errorf("%w: crc mismatch (got %08x, want %08x)", ErrTruncatedCheckpoint, got, want)
+	body, err := DecodeFrame(r, checkpointMagic, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncatedCheckpoint, err)
 	}
 	cp := new(core.Checkpoint)
 	if err := json.Unmarshal(body, cp); err != nil {

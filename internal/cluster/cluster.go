@@ -105,6 +105,14 @@ type Config struct {
 	// WorkersPerNode bounds each node's shard concurrency (default:
 	// pipeline Workers / Nodes, floored at 1).
 	WorkersPerNode int
+	// Dial, when set, supplies each node's control-plane handle in
+	// place of the coordinator's own methods — the transport seam. The
+	// handle returned for node n must speak cluster.API back to this
+	// same coordinator (typically a transport.Client pointed at its
+	// served endpoint). Leave nil for direct in-process dispatch. Since
+	// serving a coordinator requires constructing it first, transport
+	// wiring usually goes NewCoordinator → serve → SetDial.
+	Dial func(node int) API
 }
 
 func (c *Config) fillDefaults(pipelineWorkers int) {
@@ -134,8 +142,26 @@ func Run(ctx context.Context, p *core.Pipeline, cfg Config, opts core.CampaignOp
 	if err != nil {
 		return nil, nil, err
 	}
-	ds, err := p.RunCampaign(ctx, coord.campaignOpts(opts))
+	ds, err := coord.Run(ctx, opts)
 	return ds, coord, err
+}
+
+// Run executes the campaign on this coordinator's pipeline with the
+// coordinator installed as slice dispatcher. Callers that need to wire
+// a transport between construction and execution (serve the API, then
+// SetDial the clients) use this instead of the package-level Run.
+func (c *Coordinator) Run(ctx context.Context, opts core.CampaignOpts) (*analysis.Dataset, error) {
+	return c.p.RunCampaign(ctx, c.campaignOpts(opts))
+}
+
+// Resume continues a checkpointed campaign on this coordinator,
+// restoring its lease epochs and metrics from the checkpoint's cluster
+// section first.
+func (c *Coordinator) Resume(ctx context.Context, cp *core.Checkpoint, opts core.CampaignOpts) (*analysis.Dataset, error) {
+	if err := c.restore(cp); err != nil {
+		return nil, err
+	}
+	return c.p.ResumeCampaign(ctx, cp, c.campaignOpts(opts))
 }
 
 // Resume continues a checkpointed cluster campaign on a fresh
@@ -149,9 +175,6 @@ func Resume(ctx context.Context, p *core.Pipeline, cp *core.Checkpoint, cfg Conf
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := coord.restore(cp); err != nil {
-		return nil, nil, err
-	}
-	ds, err := p.ResumeCampaign(ctx, cp, coord.campaignOpts(opts))
+	ds, err := coord.Resume(ctx, cp, opts)
 	return ds, coord, err
 }

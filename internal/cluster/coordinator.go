@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ntpscan/internal/core"
 	"ntpscan/internal/obs"
@@ -42,6 +43,8 @@ type Coordinator struct {
 	live  []bool
 	seen  []bool   // node has claimed at least once (Claim vs Heartbeat)
 	views [][]Grant // each node's last-received grant list (its lease belief)
+
+	apis []API // per-node control handles (fault seam over Dial or self)
 }
 
 // NewCoordinator builds the control plane for a pipeline. The
@@ -70,6 +73,40 @@ func NewCoordinator(p *core.Pipeline, cfg Config) (*Coordinator, error) {
 
 // Nodes returns the configured node count.
 func (c *Coordinator) Nodes() int { return c.cfg.Nodes }
+
+// SetDial installs the node→coordinator control path after
+// construction. The transport wiring order needs this: build the
+// coordinator, serve its API on a listener, then point each node's
+// dial back at that endpoint. Must be called before the campaign
+// starts; it resets any handles built under the previous dial.
+func (c *Coordinator) SetDial(d func(node int) API) {
+	c.cfg.Dial = d
+	c.apis = nil
+}
+
+// handles builds (once) the per-node control handles the dispatcher
+// calls through: the configured dial — or the coordinator's own
+// methods — wrapped in the wire-fault seam, so a node's crash,
+// partition, or heartbeat delay manifests as transport behavior
+// identically whether the base is an in-process call or a socket.
+func (c *Coordinator) handles() []API {
+	if c.apis != nil {
+		return c.apis
+	}
+	plan := c.p.Cfg.Faults
+	c.apis = make([]API, c.cfg.Nodes)
+	for n := range c.apis {
+		base := API(c)
+		if c.cfg.Dial != nil {
+			base = c.cfg.Dial(n)
+		}
+		w := NewNodeWire(base, n, plan, c.p.SliceWindow, c.cfg.HeartbeatGrace)
+		w.onFault = func(k WireFaultKind) { c.met.wireFaults.Inc(int(k)) }
+		w.onDelay = func(d time.Duration) { c.met.hbDelay.Observe(d.Milliseconds()) }
+		c.apis[n] = w
+	}
+	return c.apis
+}
 
 // EpochRejections returns the fencing counter — submissions rejected
 // for carrying a stale lease epoch.

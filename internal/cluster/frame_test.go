@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+var testMagic = [4]byte{'t', 'e', 's', 't'}
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, body := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("abc"), 1000)} {
+		var buf bytes.Buffer
+		if err := EncodeFrame(&buf, testMagic, body); err != nil {
+			t.Fatal(err)
+		}
+		// The writer and appender must produce identical bytes — the
+		// transport uses AppendFrame, the checkpoint EncodeFrame.
+		if appended := AppendFrame(nil, testMagic, body); !bytes.Equal(appended, buf.Bytes()) {
+			t.Fatalf("AppendFrame and EncodeFrame disagree for %d-byte body", len(body))
+		}
+		got, err := DecodeFrame(&buf, testMagic, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, body) {
+			t.Fatalf("decoded %d bytes, want %d", len(got), len(body))
+		}
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	valid := AppendFrame(nil, testMagic, []byte("payload"))
+
+	for name, tc := range map[string]struct {
+		data []byte
+		max  uint32
+		want error
+	}{
+		"truncated header":  {valid[:3], 0, ErrBadFrame},
+		"truncated body":    {valid[:10], 0, ErrBadFrame},
+		"truncated crc":     {valid[:len(valid)-1], 0, ErrBadFrame},
+		"declared too long": {valid, 3, ErrFrameTooLarge},
+	} {
+		if _, err := DecodeFrame(bytes.NewReader(tc.data), testMagic, tc.max); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", name, err, tc.want)
+		}
+	}
+
+	wrongMagic := append([]byte(nil), valid...)
+	wrongMagic[0] = 'X'
+	if _, err := DecodeFrame(bytes.NewReader(wrongMagic), testMagic, 0); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("wrong magic: err = %v, want ErrBadFrame", err)
+	}
+	crcFlip := append([]byte(nil), valid...)
+	crcFlip[len(crcFlip)-1] ^= 0x40
+	if _, err := DecodeFrame(bytes.NewReader(crcFlip), testMagic, 0); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("crc flip: err = %v, want ErrBadFrame", err)
+	}
+	bodyFlip := append([]byte(nil), valid...)
+	bodyFlip[9] ^= 0x01
+	if _, err := DecodeFrame(bytes.NewReader(bodyFlip), testMagic, 0); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("body flip: err = %v, want ErrBadFrame", err)
+	}
+}

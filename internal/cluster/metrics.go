@@ -39,6 +39,9 @@ type metrics struct {
 	heartbeats *obs.CounterVec // heartbeats arrived, per node
 	missed     *obs.CounterVec // heartbeats missed (crash/partition/late), per node
 
+	wireFaults *obs.CounterVec // control calls intercepted at the wire-fault seam, by kind
+	hbDelay    *obs.Histogram  // injected heartbeat latency stamped (never slept), ms
+
 	live     *obs.Gauge // nodes currently considered live
 	inflight *obs.Gauge // dispatched tasks not yet completed/fenced/lost
 }
@@ -69,6 +72,12 @@ func newMetrics(r *obs.Registry, nodes int) *metrics {
 			"heartbeats arrived per node", "node", names),
 		missed: r.NewCounterVec("cluster_heartbeats_missed_total",
 			"heartbeats missed per node (crash, partition, or past grace)", "node", names),
+		wireFaults: r.NewCounterVec("cluster_wire_faults_total",
+			"node control calls intercepted at the wire-fault seam", "kind",
+			[]string{WireRefused.String(), WireBlackholed.String(), WireLate.String()}),
+		hbDelay: r.NewHistogram("cluster_heartbeat_delay_ms",
+			"injected heartbeat latency stamped at the wire seam (never slept)",
+			[]int64{100, 1_000, 10_000, 60_000, 600_000}),
 		live: r.NewGauge("cluster_nodes_live",
 			"nodes currently holding a live heartbeat"),
 		inflight: r.NewGauge("cluster_tasks_inflight",

@@ -3,10 +3,8 @@ package cluster
 import (
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"ntpscan/internal/core"
-	"ntpscan/internal/netsim"
 )
 
 // node is one in-process campaign node: an executor over its granted
@@ -51,26 +49,17 @@ func (n *node) execute(api API, slice int, shards []core.ShardRef, run func(core
 	wg.Wait()
 }
 
-// heartbeatOK evaluates one node's heartbeat for the slice starting at
-// `at`: a crashed or partitioned node sends nothing the coordinator
-// can hear, and a heartbeat delayed past the grace window counts as
-// missed.
-func heartbeatOK(plan *netsim.FaultPlan, nodeID int, at time.Time, grace time.Duration) bool {
-	if plan == nil {
-		return true
-	}
-	if plan.NodeDown(nodeID, at) || plan.NodePartitioned(nodeID, at) {
-		return false
-	}
-	return plan.HeartbeatDelay(nodeID, at) <= grace
-}
-
 // dispatch is the campaign's slice driver (core.DispatchFunc): the
 // whole node-loss protocol runs here, once per slice, in a fixed phase
 // order so every control decision is a pure function of (fault plan,
-// slice, node index).
+// slice, node index). Every node→coordinator call goes through the
+// node's wire handle (c.handles()): in-process that is the fault seam
+// over the coordinator's own methods; with Config.Dial set it is the
+// same seam over a transport client, so the protocol below runs
+// unchanged over a real socket.
 //
-//  1. Heartbeats, evaluated on the slice-frozen clock.
+//  1. Heartbeats: each node's probe is sent through its wire handle; a
+//     call the seam refuses, blackholes, or times out is a miss.
 //  2. Expiry: leases held by nodes that missed fence (epoch bump).
 //  3. Zombies: a partitioned node cannot hear that its leases expired;
 //     while its own grant view is unexpired it keeps executing. Those
@@ -88,16 +77,22 @@ func heartbeatOK(plan *netsim.FaultPlan, nodeID int, at time.Time, grace time.Du
 // The core barrier then commits every shard's effects in ascending
 // shard order — by the time dispatch returns, each shard has exactly
 // one surviving execution.
-func (c *Coordinator) dispatch(s int, shards []core.ShardRef, run func(core.ShardRef)) {
+func (c *Coordinator) dispatch(s int, shards []core.ShardRef, run func(core.ShardRef)) error {
 	plan := c.p.Cfg.Faults
 	from, until := c.p.SliceWindow(s)
 	nodes := c.cfg.Nodes
+	apis := c.handles()
 
-	// Phase 1: heartbeats.
+	// Phase 1: heartbeats, probed through each node's wire handle. The
+	// seam turns the plan's faults into call outcomes (refused,
+	// blackholed, past-grace timeout), so "missed" means exactly "the
+	// coordinator heard nothing in time" — in-process and over a socket
+	// alike.
 	prevLive := append([]bool(nil), c.live...)
 	liveCount := 0
 	for n := 0; n < nodes; n++ {
-		ok := heartbeatOK(plan, n, from, c.cfg.HeartbeatGrace)
+		_, herr := apis[n].Heartbeat(n, s)
+		ok := herr == nil
 		if ok {
 			c.met.heartbeats.Inc(n)
 			liveCount++
@@ -136,7 +131,10 @@ func (c *Coordinator) dispatch(s int, shards []core.ShardRef, run func(core.Shar
 			c.met.claimed.Inc()
 			c.met.inflight.Add(1)
 			run(ref)
-			if err := c.SubmitSlice(n, g.Shard, s, g.Epoch); err == nil {
+			// The submission rides the data plane: a partition cuts the
+			// control channel, not this path, so the zombie's stale epoch
+			// reaches the coordinator and is fenced server-side.
+			if err := apis[n].SubmitSlice(n, g.Shard, s, g.Epoch); err == nil {
 				panic("cluster: partitioned node's submission passed the fence")
 			}
 			if err := ref.Restore(snap); err != nil {
@@ -177,9 +175,9 @@ func (c *Coordinator) dispatch(s int, shards []core.ShardRef, run func(core.Shar
 			var grants []Grant
 			var err error
 			if !c.seen[n] || !prevLive[n] {
-				grants, err = c.Claim(n, s)
+				grants, err = apis[n].Claim(n, s)
 			} else {
-				grants, err = c.Heartbeat(n, s)
+				grants, err = apis[n].Heartbeat(n, s)
 			}
 			if err != nil {
 				panic("cluster: control call failed for configured node: " + err.Error())
@@ -219,7 +217,7 @@ func (c *Coordinator) dispatch(s int, shards []core.ShardRef, run func(core.Shar
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				nd.execute(c, s, shards, run)
+				nd.execute(apis[n], s, shards, run)
 			}()
 		}
 		wg.Wait()
@@ -233,4 +231,5 @@ func (c *Coordinator) dispatch(s int, shards []core.ShardRef, run func(core.Shar
 		}
 	}
 	c.met.live.Set(int64(liveCount))
+	return nil
 }

@@ -1,0 +1,50 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ntpscan/internal/cluster"
+)
+
+// FuzzTransportFrameDecode drives the wire frame decoder with
+// arbitrary bytes under the transport's real bound (MaxFrameBody). The
+// contract under fuzz: never panic, never allocate past the bound, and
+// fail only through the two typed errors — ErrBadFrame for truncation,
+// mis-tagging, or CRC disagreement, ErrFrameTooLarge for an oversized
+// declared length. A successful decode must be exact: re-framing the
+// body reproduces the consumed prefix byte for byte.
+func FuzzTransportFrameDecode(f *testing.F) {
+	// The committed corpus under testdata/fuzz covers the branch
+	// points; these inline seeds duplicate the shapes for -fuzz runs
+	// from a clean tree.
+	valid := cluster.AppendFrame(nil, wireMagic, []byte(`{"node":1,"slice":10}`))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-2]) // truncated crc
+	f.Add(valid[:9])            // truncated body
+	f.Add(valid[:3])            // truncated header
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0x01
+	f.Add(corrupt) // crc mismatch
+	wrongMagic := append([]byte(nil), valid...)
+	wrongMagic[3] = 'c'
+	f.Add(wrongMagic)
+	huge := []byte{'n', 't', 'p', 'w', 0xff, 0xff, 0xff, 0x7f}
+	f.Add(huge) // declared length past the bound
+	f.Add(cluster.AppendFrame(nil, wireMagic, nil))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, err := cluster.DecodeFrame(bytes.NewReader(data), wireMagic, MaxFrameBody)
+		if err != nil {
+			if !errors.Is(err, cluster.ErrBadFrame) && !errors.Is(err, cluster.ErrFrameTooLarge) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		re := cluster.AppendFrame(nil, wireMagic, body)
+		if len(re) > len(data) || !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("accepted frame does not re-encode to its input prefix (%d bytes)", len(body))
+		}
+	})
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ntpscan/internal/chaos"
+)
+
+var update = flag.Bool("update", false, "rewrite golden wire fixtures")
+
+// Golden wire fixtures: the exact framed bytes of every cluster.API
+// method's request and response (success and the canonical error),
+// captured against the scripted API over a real loopback socket. The
+// fixtures pin the wire format — magic, little-endian length, JSON
+// field order, CRC — so an accidental codec or DTO change shows up as
+// a byte diff, not as a cross-version deploy failure. Regenerate
+// deliberately with:
+//
+//	go test ./internal/cluster/transport/ -run Golden -update
+func checkWireGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s diverges from golden:\n got:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// render makes a frame reviewable: the status line then a hex dump.
+func render(status int, frame []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "status: %d\n", status)
+	b.WriteString(hex.Dump(frame))
+	return b.Bytes()
+}
+
+func TestWireFixturesGolden(t *testing.T) {
+	chaos.NoGoroutineLeaks(t)
+	ep, err := ListenLoopback(NewServer(&scriptAPI{}, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// post sends one framed request and captures the raw framed
+	// response plus status, exactly as they crossed the socket.
+	post := func(t *testing.T, path string, req any) (frame []byte, status int, resp []byte) {
+		t.Helper()
+		frame, err := encodeRequest(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr, err := http.Post(ep.URL+path, contentType, bytes.NewReader(frame))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer hr.Body.Close()
+		resp, err = io.ReadAll(hr.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ct := hr.Header.Get("Content-Type"); ct != contentType {
+			t.Errorf("%s: Content-Type = %q, want %q", path, ct, contentType)
+		}
+		return frame, hr.StatusCode, resp
+	}
+
+	cases := []struct {
+		name string
+		path string
+		req  any
+	}{
+		{"claim", pathClaim, claimRequest{Node: 0, Slice: 10}},
+		{"heartbeat", pathHeartbeat, claimRequest{Node: 1, Slice: 11}},
+		{"submit_ok", pathSubmit, submitRequest{Node: 0, Shard: 2, Slice: 11, Epoch: 7}},
+		{"submit_stale", pathSubmit, submitRequest{Node: 0, Shard: 2, Slice: 11, Epoch: 3}},
+		{"release", pathRelease, releaseRequest{Node: 0}},
+		{"unknown_node", pathClaim, claimRequest{Node: 9, Slice: 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, status, resp := post(t, tc.path, tc.req)
+			checkWireGolden(t, tc.name+"_request", []byte(hex.Dump(req)))
+			checkWireGolden(t, tc.name+"_response", render(status, resp))
+		})
+	}
+}

@@ -1,0 +1,272 @@
+package transport_test
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ntpscan/internal/chaos"
+	"ntpscan/internal/cluster"
+	"ntpscan/internal/cluster/transport"
+	"ntpscan/internal/core"
+	"ntpscan/internal/obs"
+)
+
+// Mode B: the multi-process shape. One Fabric served on a loopback
+// socket, each campaign node a full deterministic replica driven by
+// cluster.RunNode through its own transport.Client. These tests run
+// the replicas as goroutines — cmd/clusterd's test covers the
+// separate-process wiring — but every control call crosses the real
+// socket.
+
+// fabricEndpoint serves a fresh Fabric for the pipeline's shard count
+// and returns it with its live endpoint.
+func fabricEndpoint(t *testing.T, shards, nodes int) (*cluster.Fabric, *transport.Endpoint) {
+	t.Helper()
+	fab, err := cluster.NewFabric(shards, cluster.Config{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := transport.ListenLoopback(transport.NewServer(fab, fab.Obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := ep.Close(); err != nil {
+			t.Errorf("endpoint close: %v", err)
+		}
+	})
+	return fab, ep
+}
+
+// Three replica drivers against one wire fabric: every node's JSONL is
+// byte-identical to the single-process campaign, and the fabric's
+// ledger shows each task accepted exactly once cluster-wide.
+func TestNodeReplicasOverSocketByteIdentical(t *testing.T) {
+	chaos.NoGoroutineLeaks(t)
+	ctx := context.Background()
+	const nodes = 3
+	seed := chaos.Seeds()[0]
+
+	var want bytes.Buffer
+	base := core.NewPipeline(chaos.Config(seed))
+	if _, err := base.RunCampaign(ctx, core.CampaignOpts{Out: &want}); err != nil {
+		t.Fatal(err)
+	}
+
+	fab, ep := fabricEndpoint(t, base.Cfg.CollectShards, nodes)
+	clientReg := obs.NewRegistry()
+	outs := make([]bytes.Buffer, nodes)
+	stats := make([]*cluster.NodeStats, nodes)
+	errs := make([]error, nodes)
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			api := transport.NewClient(ep.URL, n, clientReg)
+			defer api.CloseIdle()
+			p := core.NewPipeline(chaos.Config(seed))
+			_, stats[n], errs[n] = cluster.RunNode(ctx, p, api, n,
+				cluster.Config{Nodes: nodes}, core.CampaignOpts{Out: &outs[n]})
+		}()
+	}
+	wg.Wait()
+
+	var accepted int64
+	for n := 0; n < nodes; n++ {
+		if errs[n] != nil {
+			t.Fatalf("node %d: %v", n, errs[n])
+		}
+		if !bytes.Equal(outs[n].Bytes(), want.Bytes()) {
+			t.Errorf("node %d wire replica diverges from single-process run (%d vs %d bytes)",
+				n, outs[n].Len(), want.Len())
+		}
+		accepted += stats[n].Accepted
+	}
+	claimed, completed, fenced := fab.TaskCounts()
+	if completed != accepted {
+		t.Errorf("fabric completed %d != nodes' accepted sum %d", completed, accepted)
+	}
+	if claimed != completed+fenced {
+		t.Errorf("fabric conservation violated over the socket: %d != %d + %d",
+			claimed, completed, fenced)
+	}
+	t.Logf("wire cluster: claimed %d = completed %d + fenced %d", claimed, completed, fenced)
+}
+
+// restartAPI drives a transport.Client and, the first time the
+// campaign reaches trigger's slice, kills the endpoint and brings a
+// NEW fabric up on the same address after a delay — a coordinator
+// process restart, in-memory lease table lost. The client under it
+// must bridge the gap with retry/backoff.
+type restartAPI struct {
+	*transport.Client
+	t       *testing.T
+	ep      *transport.Endpoint
+	shards  int
+	nodes   int
+	trigger int
+
+	once sync.Once
+	done chan *cluster.Fabric
+}
+
+func (r *restartAPI) maybeRestart(slice int) {
+	if slice < r.trigger {
+		return
+	}
+	r.once.Do(func() {
+		if err := r.ep.Close(); err != nil {
+			r.t.Errorf("endpoint close: %v", err)
+		}
+		addr := strings.TrimPrefix(r.ep.URL, "http://")
+		go func() {
+			time.Sleep(25 * time.Millisecond)
+			fab2, err := cluster.NewFabric(r.shards, cluster.Config{Nodes: r.nodes})
+			if err != nil {
+				r.t.Error(err)
+				r.done <- nil
+				return
+			}
+			// The freed port can linger briefly; rebinding it is the
+			// whole point (the node's base URL must stay valid), so
+			// retry the bind for a bounded window.
+			for deadline := time.Now().Add(5 * time.Second); ; {
+				ep2, err := transport.ListenAddr(transport.NewServer(fab2, fab2.Obs), addr)
+				if err == nil {
+					r.done <- fab2
+					r.t.Cleanup(func() {
+						if err := ep2.Close(); err != nil {
+							r.t.Errorf("restarted endpoint close: %v", err)
+						}
+					})
+					return
+				}
+				if time.Now().After(deadline) {
+					r.t.Errorf("rebind %s: %v", addr, err)
+					r.done <- nil
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}()
+	})
+}
+
+func (r *restartAPI) Claim(node, slice int) ([]cluster.Grant, error) {
+	r.maybeRestart(slice)
+	return r.Client.Claim(node, slice)
+}
+
+func (r *restartAPI) Heartbeat(node, slice int) ([]cluster.Grant, error) {
+	r.maybeRestart(slice)
+	return r.Client.Heartbeat(node, slice)
+}
+
+// The coordinator dies mid-campaign and a cold replacement (empty
+// lease table, epochs back at 1) takes over the same address. The
+// replica's client retries across the outage, re-claims against the
+// new fabric, and the campaign output does not move by a byte.
+func TestNodeReplicaSurvivesFabricRestart(t *testing.T) {
+	chaos.NoGoroutineLeaks(t)
+	ctx := context.Background()
+	seed := chaos.Seeds()[0]
+
+	var want bytes.Buffer
+	base := core.NewPipeline(chaos.Config(seed))
+	if _, err := base.RunCampaign(ctx, core.CampaignOpts{Out: &want}); err != nil {
+		t.Fatal(err)
+	}
+
+	fab, err := cluster.NewFabric(base.Cfg.CollectShards, cluster.Config{Nodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := transport.ListenLoopback(transport.NewServer(fab, fab.Obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No cleanup-close for ep: the restart path closes it mid-test.
+
+	clientReg := obs.NewRegistry()
+	client := transport.NewClient(ep.URL, 0, clientReg)
+	defer client.CloseIdle()
+	// Generous budget, tight backoff: the outage is ~25ms and the test
+	// should spend its time executing slices, not sleeping.
+	client.Retries = 30
+	client.Backoff = 2 * time.Millisecond
+
+	api := &restartAPI{
+		Client:  client,
+		t:       t,
+		ep:      ep,
+		shards:  base.Cfg.CollectShards,
+		nodes:   1,
+		trigger: 25,
+		done:    make(chan *cluster.Fabric, 1),
+	}
+	p := core.NewPipeline(chaos.Config(seed))
+	var got bytes.Buffer
+	_, stats, err := cluster.RunNode(ctx, p, api, 0, cluster.Config{Nodes: 1},
+		core.CampaignOpts{Out: &got})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab2 := <-api.done
+	if fab2 == nil {
+		t.Fatal("fabric restart failed")
+	}
+
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Errorf("replica output moved across a coordinator restart (%d vs %d bytes)",
+			got.Len(), want.Len())
+	}
+	retries := clientReg.Snapshot()["transport_client_retries_total"]
+	if len(retries) != 1 || retries[0] == 0 {
+		t.Errorf("transport_client_retries_total = %v, want non-zero — the outage was never bridged by backoff", retries)
+	}
+	if stats.Accepted == 0 {
+		t.Error("no submissions accepted after the restart")
+	}
+	// Both incarnations keep their own books; each must balance.
+	for i, f := range []*cluster.Fabric{fab, fab2} {
+		claimed, completed, fenced := f.TaskCounts()
+		if claimed != completed+fenced {
+			t.Errorf("fabric incarnation %d conservation violated: %d != %d + %d",
+				i, claimed, completed, fenced)
+		}
+	}
+	t.Logf("restart bridged with %d retries, %d offline slices", retries[0], stats.Offline)
+}
+
+// A well-formed frame on an unmounted path is a routing error, not a
+// hang: the mux answers 404/405 and the client does not retry it into
+// oblivion (http-level errors are responses, not transport failures).
+func TestUnmountedPathAnswers(t *testing.T) {
+	chaos.NoGoroutineLeaks(t)
+	_, ep := fabricEndpoint(t, 2, 1)
+	frame := cluster.AppendFrame(nil, [4]byte{'n', 't', 'p', 'w'}, []byte(`{"node":0,"slice":0}`))
+	resp, err := http.Post(ep.URL+"/v1/cluster/nope", "application/x-ntpscan-frame",
+		bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unmounted path status = %d, want 404", resp.StatusCode)
+	}
+	// GET on a mounted POST path: method not allowed.
+	g, err := http.Get(ep.URL + "/v1/cluster/claim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST path status = %d, want 405", g.StatusCode)
+	}
+}

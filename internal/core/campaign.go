@@ -331,6 +331,7 @@ func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts Cam
 		return nil, fmt.Errorf("core: campaign dispatcher is incompatible with FullPacketNTP (fabric hook needs serial shards)")
 	}
 	p.dispatch = opts.Dispatch
+	p.dispatchErr = nil
 	defer func() { p.dispatch = nil }()
 	p.recordCaps = true
 	sink := newOrderedSink(p.Cfg.Workers, opts.Out)
@@ -411,6 +412,11 @@ func (p *Pipeline) runCampaignFrom(ctx context.Context, startSlice int, opts Cam
 		}
 	})
 	scanner.Close()
+	// A fatal dispatcher error outranks sink errors: it names the root
+	// cause (the control plane died), not the knock-on effects.
+	if p.dispatchErr != nil && werr == nil {
+		werr = p.dispatchErr
+	}
 	if err := sink.flush(); err != nil && werr == nil {
 		werr = err
 	}

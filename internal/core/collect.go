@@ -410,10 +410,18 @@ func (p *Pipeline) vantageUp(vs *VantageServer) bool {
 // the cluster path, where leased nodes decide who runs what.
 func (p *Pipeline) runShards(shards []*collectShard, workers, s, slices int, quotas []collectQuota) {
 	if p.dispatch != nil {
+		if p.dispatchErr != nil {
+			// A previous slice's dispatch failed fatally: the campaign is
+			// aborting. Running more slices against an undefined placement
+			// would only produce output the caller must discard anyway.
+			return
+		}
 		refs := p.shardRefs(shards)
-		p.dispatch(s, refs, func(r ShardRef) {
+		if err := p.dispatch(s, refs, func(r ShardRef) {
 			p.runShardSlice(r.sh, s, slices, len(shards), quotas)
-		})
+		}); err != nil {
+			p.dispatchErr = err
+		}
 		return
 	}
 	if workers <= 1 {

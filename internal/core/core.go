@@ -232,9 +232,12 @@ type Pipeline struct {
 
 	// dispatch, when set, replaces the built-in worker pool as the
 	// executor of each slice's shard tasks (see CampaignOpts.Dispatch).
-	// refs caches the ShardRef handles handed to it.
-	dispatch DispatchFunc
-	refs     []ShardRef
+	// refs caches the ShardRef handles handed to it. dispatchErr holds
+	// the first error a dispatcher returned: once set, the remaining
+	// slices are skipped and RunCampaign fails with it.
+	dispatch    DispatchFunc
+	dispatchErr error
+	refs        []ShardRef
 
 	// restoreCp, when set, seeds makeCollectShards with checkpointed
 	// stream positions instead of fresh derivations.

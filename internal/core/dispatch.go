@@ -24,7 +24,15 @@ import (
 // per shard — executions beyond that must each have been rolled back
 // via Restore with a Snapshot taken before the attempt ran. run is
 // safe to call concurrently for distinct refs, never for the same ref.
-type DispatchFunc func(slice int, shards []ShardRef, run func(ShardRef))
+//
+// A non-nil error aborts the campaign: the remaining slices are
+// skipped (no further dispatch calls are made) and RunCampaign returns
+// the error. Dispatchers use this for fatal control-plane failures — a
+// cluster transport that cannot reach its coordinator and cannot
+// safely fall back, or a coordinator whose shard decomposition
+// disagrees with the pipeline's — where continuing would execute an
+// undefined placement.
+type DispatchFunc func(slice int, shards []ShardRef, run func(ShardRef)) error
 
 // ShardRef is an opaque handle to one collection shard, valid for the
 // campaign that issued it.

@@ -14,6 +14,7 @@ import (
 
 	"ntpscan/internal/analysis"
 	"ntpscan/internal/cluster"
+	"ntpscan/internal/cluster/transport"
 	"ntpscan/internal/core"
 	"ntpscan/internal/hitlist"
 	"ntpscan/internal/store"
@@ -60,6 +61,17 @@ type Options struct {
 	// table is byte-identical at any node count. Zero or one keeps the
 	// single-process campaign.
 	Nodes int
+	// ClusterURL switches the campaign to multi-process node mode: the
+	// NTP campaign runs as a full deterministic replica whose control
+	// plane is the clusterd fabric at this base URL (cluster.RunNode
+	// over the wire transport). Nodes must carry the cluster's total
+	// node count and NodeID this process's index. The replica's outputs
+	// are byte-identical to a single-process run; the fabric decides
+	// only which shard-slice submissions this node is authoritative
+	// for.
+	ClusterURL string
+	// NodeID is this process's node index under ClusterURL (0-based).
+	NodeID int
 }
 
 func (o *Options) fill() {
@@ -117,6 +129,12 @@ func Run(opts Options) *Suite {
 	ctx := context.Background()
 
 	runCampaign := func(copts core.CampaignOpts) (*analysis.Dataset, error) {
+		if opts.ClusterURL != "" {
+			api := transport.NewClient(opts.ClusterURL, opts.NodeID, nil)
+			ds, _, err := cluster.RunNode(ctx, p, api, opts.NodeID,
+				cluster.Config{Nodes: opts.Nodes}, copts)
+			return ds, err
+		}
 		if opts.Nodes > 1 {
 			ds, _, err := cluster.Run(ctx, p, cluster.Config{Nodes: opts.Nodes}, copts)
 			return ds, err

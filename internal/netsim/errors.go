@@ -54,6 +54,20 @@ var (
 	errDialTimeoutStr = errDialTimeout.Error()
 )
 
+// DialRefused returns the shared refused-dial *net.OpError — the wire
+// face of a host that is down and answering RSTs. The cluster
+// transport's fault seam returns it for control calls from a crashed
+// node, so callers classify the failure exactly as they would a kernel
+// ECONNREFUSED.
+func DialRefused() error { return errDialRefused }
+
+// DialTimeout returns the shared timed-out-dial *net.OpError — the wire
+// face of a blackholed path: the request left, nothing ever came back.
+// The cluster transport's fault seam returns it for control calls from
+// a partitioned node and for heartbeats delayed past the coordinator's
+// grace.
+func DialTimeout() error { return errDialTimeout }
+
 // DialErrString returns err.Error() without allocating when err is one
 // of the fabric's shared dial errors. Scan-result recording calls this
 // on every failed probe.

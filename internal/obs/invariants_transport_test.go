@@ -1,0 +1,146 @@
+package obs_test
+
+// The wire transport's conservation laws. The client and server each
+// keep framed-byte and request ledgers on their own registries; after
+// a campaign whose control plane crossed a real loopback socket — with
+// a node kill and a control-plane partition in flight — the two sides'
+// books must agree exactly:
+//
+//	client attempts == client calls + client retries
+//	client attempts == server requests + client net failures
+//	client errors   == server non-200 responses
+//	client bytes out == server bytes in   (and vice versa)
+//
+// The byte laws hold because both sides count whole frames with the
+// same formula (body + 12); nothing is sampled or estimated.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"ntpscan/internal/chaos"
+	"ntpscan/internal/cluster"
+	"ntpscan/internal/cluster/transport"
+	"ntpscan/internal/core"
+	"ntpscan/internal/netsim"
+	"ntpscan/internal/obs"
+)
+
+func sumSeries(t *testing.T, snap map[string][]int64, key string) int64 {
+	t.Helper()
+	vals, ok := snap[key]
+	if !ok {
+		t.Fatalf("metric series %q not registered", key)
+	}
+	var s int64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+func TestWireConservationUnderChaos(t *testing.T) {
+	chaos.NoGoroutineLeaks(t)
+	const nodes = 3
+	for _, seed := range chaos.Seeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			var baseOut bytes.Buffer
+			base := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.DefaultSpec())
+			if _, err := base.RunCampaign(context.Background(), core.CampaignOpts{Out: &baseOut}); err != nil {
+				t.Fatal(err)
+			}
+
+			p := chaos.FaultedPipeline(chaos.Config(seed), seed+1, chaos.NodeLossSpec(nodes, 1))
+			// Pin a control-plane partition so zombie submissions cross
+			// the wire and come back fenced.
+			from, _ := p.SliceWindow(40)
+			until, _ := p.SliceWindow(52)
+			p.Cfg.Faults.AddNode(netsim.NodeFault{
+				Kind: netsim.NodePartition, Node: 2, From: from, Until: until,
+			})
+
+			coord, err := cluster.NewCoordinator(p, cluster.Config{Nodes: nodes})
+			if err != nil {
+				t.Fatal(err)
+			}
+			serverReg := obs.NewRegistry()
+			ep, err := transport.ListenLoopback(transport.NewServer(coord, serverReg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			clientReg := obs.NewRegistry()
+			coord.SetDial(transport.Dial(ep.URL, clientReg))
+
+			var out bytes.Buffer
+			if _, err := coord.Run(context.Background(), core.CampaignOpts{Out: &out}); err != nil {
+				t.Fatal(err)
+			}
+			// Drain in-flight handlers before reading the server's books.
+			if err := ep.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), baseOut.Bytes()) {
+				t.Errorf("socket campaign output diverges from single-process run (%d vs %d bytes)",
+					out.Len(), baseOut.Len())
+			}
+
+			cs, ss := clientReg.Snapshot(), serverReg.Snapshot()
+			calls := sumSeries(t, cs, "transport_client_calls_total")
+			clientErrs := sumSeries(t, cs, "transport_client_errors_total")
+			attempts := sumSeries(t, cs, "transport_client_attempts_total")
+			retries := sumSeries(t, cs, "transport_client_retries_total")
+			netFails := sumSeries(t, cs, "transport_client_net_failures_total")
+			cBytesOut := sumSeries(t, cs, "transport_client_bytes_out_total")
+			cBytesIn := sumSeries(t, cs, "transport_client_bytes_in_total")
+			requests := sumSeries(t, ss, "transport_server_requests_total")
+			serverErrs := sumSeries(t, ss, "transport_server_errors_total")
+			sBytesIn := sumSeries(t, ss, "transport_server_bytes_in_total")
+			sBytesOut := sumSeries(t, ss, "transport_server_bytes_out_total")
+
+			if calls == 0 {
+				t.Fatal("no control calls crossed the wire")
+			}
+			if attempts != calls+retries {
+				t.Errorf("attempt law violated: attempts %d != calls %d + retries %d",
+					attempts, calls, retries)
+			}
+			if attempts != requests+netFails {
+				t.Errorf("delivery law violated: attempts %d != server requests %d + net failures %d",
+					attempts, requests, netFails)
+			}
+			// A loopback socket with no process restarts loses nothing.
+			if retries != 0 || netFails != 0 {
+				t.Errorf("clean-socket run recorded %d retries / %d net failures, want 0/0",
+					retries, netFails)
+			}
+			if clientErrs != serverErrs {
+				t.Errorf("error books disagree: client %d != server %d", clientErrs, serverErrs)
+			}
+			if clientErrs == 0 {
+				t.Error("no errors crossed the wire — the partition's zombies never fenced")
+			}
+			if cBytesOut != sBytesIn {
+				t.Errorf("request byte law violated: client sent %d, server read %d", cBytesOut, sBytesIn)
+			}
+			if cBytesIn != sBytesOut {
+				t.Errorf("response byte law violated: server wrote %d, client read %d", sBytesOut, cBytesIn)
+			}
+
+			// The cluster's own ledger still balances with its control
+			// plane behind the socket.
+			claimed, completed, fenced, lost := coord.TaskCounts()
+			if claimed != completed+fenced+lost {
+				t.Errorf("cluster task conservation violated over the wire: claimed %d != completed %d + fenced %d + lost %d",
+					claimed, completed, fenced, lost)
+			}
+			if fenced == 0 {
+				t.Error("no epoch rejections — fencing never exercised the socket")
+			}
+			t.Logf("wire books: %d calls, %d errors, %d bytes out / %d bytes in",
+				calls, clientErrs, cBytesOut, cBytesIn)
+		})
+	}
+}
