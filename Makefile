@@ -34,17 +34,23 @@ race:
 # cluster task-conservation law; the transport leg repeats it with the
 # control plane over a real loopback socket (coordinator served by the
 # HTTP transport, nodes dialing back as wire clients, Nodes=1/3/8),
-# plus the fabric restart/reconnect and multi-replica drivers. A final
-# leg re-runs the end-to-end campaign suites for one seed at 10x world
-# scale against the lazy (arena-materialized) world — same faults, same
-# oracles, sub-linear memory path.
+# plus the fabric restart/reconnect and multi-replica drivers. The
+# congested-fabric leg runs the campaign behind saturated emulated
+# links with mid-campaign route churn (internal/netsim/link) and
+# demands byte-identical output across worker counts, across a resume,
+# and across cluster node counts, plus the link_* conservation laws. A
+# final leg re-runs the end-to-end campaign suites for one seed at 10x
+# world scale against the lazy (arena-materialized) world — same
+# faults, same oracles, sub-linear memory path.
 chaos:
 	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
-		$(GO) test -race ./internal/chaos/ ./internal/netsim/ ./internal/zgrab/ ./internal/core/ ./internal/obs/ ./internal/store/
+		$(GO) test -race -skip 'Congested' ./internal/chaos/ ./internal/netsim/ ./internal/netsim/link/ ./internal/zgrab/ ./internal/core/ ./internal/obs/ ./internal/store/
 	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
 		$(GO) test -race ./internal/cluster/ ./internal/cluster/transport/ ./cmd/clusterd/
+	NTPSCAN_CHAOS_SEEDS="$${NTPSCAN_CHAOS_SEEDS:-11 23 42}" \
+		$(GO) test -race -run 'Congested|TestLink' ./internal/chaos/ ./internal/obs/
 	NTPSCAN_CHAOS_SEEDS=23 NTPSCAN_CHAOS_SCALE=10 NTPSCAN_CHAOS_LAZY=1 \
-		$(GO) test -race ./internal/chaos/ ./internal/obs/
+		$(GO) test -race -skip 'Congested' ./internal/chaos/ ./internal/obs/
 
 # fuzz-smoke runs every fuzz target for a short burst (FUZZTIME each,
 # default 10s) on top of its committed seed corpus under testdata/fuzz.
@@ -62,7 +68,8 @@ FUZZ_TARGETS := \
 	./internal/proto/mqttx:FuzzReadPacket \
 	./internal/proto/mqttx:FuzzDecodeConnect \
 	./internal/store:FuzzSegmentDecode \
-	./internal/cluster/transport:FuzzTransportFrameDecode
+	./internal/cluster/transport:FuzzTransportFrameDecode \
+	./internal/netsim/link:FuzzLinkPlanDecode
 
 fuzz-smoke:
 	@set -e; for t in $(FUZZ_TARGETS); do \
@@ -131,10 +138,12 @@ bench-query:
 # run diffed against the committed BENCH_pipeline.json "after" block.
 # Fails if bytes/op or allocs/op regress beyond 10% or ns/op beyond
 # 100% (single-iteration wall time on shared hosts varies close to 2x;
-# allocation counts are deterministic). Wired into ci.sh behind
-# NTPSCAN_BENCH_COMPARE=1.
+# allocation counts are deterministic). NTPSCAN_BENCH_COMPARE=1 also
+# arms BenchmarkCampaignCongested's in-benchmark gate: the campaign
+# behind a utilization-0.9 emulated link must stay under 2x the clean
+# run's ns/op. Wired into ci.sh behind NTPSCAN_BENCH_COMPARE=1.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare -benchtime 1x -out BENCH_pipeline.json
+	NTPSCAN_BENCH_COMPARE=1 $(GO) run ./cmd/benchjson -compare -benchtime 1x -out BENCH_pipeline.json
 	$(GO) run ./cmd/benchjson -pkg ./internal/store/ -bench '$(STORE_BENCH)' \
 		-compare -benchtime 1x -out BENCH_store.json
 	$(GO) run ./cmd/benchjson -pkg ./internal/query/ -bench '$(QUERY_BENCH)' \

@@ -16,10 +16,12 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"ntpscan"
 	"ntpscan/internal/analysis"
 	"ntpscan/internal/experiments"
+	"ntpscan/internal/netsim/link"
 )
 
 // benchOptions reads the scale from NTPSCAN_SCALE (a multiplier on the
@@ -92,6 +94,58 @@ func BenchmarkCampaignWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkCampaignCongested runs the full campaign behind a
+// utilization-0.9 default link (every flow crosses a queued, delayed,
+// bandwidth-limited hop — see internal/netsim/link) and reports its
+// cost relative to an identical clean-fabric run as the x-clean
+// metric. Queue outcomes are pure hash draws on the logical clock, so
+// congestion must cost arithmetic, not wall-clock: with
+// NTPSCAN_BENCH_COMPARE=1 the benchmark fails if the congested run
+// reaches 2x the clean ns/op.
+func BenchmarkCampaignCongested(b *testing.B) {
+	opts := benchOptions()
+	opts.DeviceScale /= 5
+	opts.AddrScale /= 3
+	b.ReportAllocs()
+	var cleanNs int64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(4000 + i)
+		b.StopTimer()
+		clean := opts
+		clean.Seed = seed
+		t0 := time.Now()
+		if s := ntpscan.RunExperiments(clean); s.P.Summary.Set().Len() == 0 {
+			b.Fatal("empty clean run")
+		}
+		cleanNs += time.Since(t0).Nanoseconds()
+		b.StartTimer()
+
+		congested := opts
+		congested.Seed = seed
+		congested.LinkPlan = &link.Plan{
+			Seed: seed ^ 0xc049,
+			Default: &link.Params{
+				QueuePackets: 16,
+				BytesPerSec:  64 << 20,
+				PropDelay:    15 * time.Microsecond,
+				Utilization:  0.9,
+				JitterMax:    10 * time.Microsecond,
+			},
+		}
+		if s := ntpscan.RunExperiments(congested); s.P.Summary.Set().Len() == 0 {
+			b.Fatal("empty congested run")
+		}
+	}
+	b.StopTimer()
+	if cleanNs > 0 {
+		ratio := float64(b.Elapsed().Nanoseconds()) / float64(cleanNs)
+		b.ReportMetric(ratio, "x-clean")
+		if os.Getenv("NTPSCAN_BENCH_COMPARE") == "1" && ratio >= 2 {
+			b.Fatalf("congested campaign costs %.2fx the clean run; the gate requires < 2x", ratio)
+		}
 	}
 }
 

@@ -49,6 +49,12 @@ type Bench struct {
 	P50Ns float64 `json:"p50_ns,omitempty"`
 	P99Ns float64 `json:"p99_ns,omitempty"`
 	RPS   float64 `json:"rps,omitempty"`
+	// XClean is the congested-campaign cost ratio (x-clean) reported
+	// by BenchmarkCampaignCongested: congested ns/op over clean ns/op
+	// on the same seeds. The benchmark gates itself (< 2x) when
+	// NTPSCAN_BENCH_COMPARE=1; the ratio is recorded here for the
+	// report.
+	XClean float64 `json:"x_clean,omitempty"`
 }
 
 // Report is the BENCH_pipeline.json schema.
@@ -79,12 +85,13 @@ type Section struct {
 // benchLine parses one `go test -bench` result line. Custom metrics
 // print after ns/op sorted alphabetically by unit, so the optional
 // groups appear in exactly this order: live-heap-B < p50-ns < p99-ns
-// < rps, then the -benchmem columns.
+// < rps < x-clean, then the -benchmem columns.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(\d+(?:\.\d+)?) ns/op` +
 	`(?:\s+(\d+(?:\.\d+)?) live-heap-B)?` +
 	`(?:\s+(\d+(?:\.\d+)?) p50-ns)?` +
 	`(?:\s+(\d+(?:\.\d+)?) p99-ns)?` +
 	`(?:\s+(\d+(?:\.\d+)?) rps)?` +
+	`(?:\s+(\d+(?:\.\d+)?) x-clean)?` +
 	`(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func parseBench(out string) []Bench {
@@ -109,10 +116,13 @@ func parseBench(out string) []Bench {
 			b.RPS, _ = strconv.ParseFloat(m[6], 64)
 		}
 		if m[7] != "" {
-			b.BytesPerOp, _ = strconv.ParseFloat(m[7], 64)
+			b.XClean, _ = strconv.ParseFloat(m[7], 64)
 		}
 		if m[8] != "" {
-			b.AllocsPerOp, _ = strconv.ParseFloat(m[8], 64)
+			b.BytesPerOp, _ = strconv.ParseFloat(m[8], 64)
+		}
+		if m[9] != "" {
+			b.AllocsPerOp, _ = strconv.ParseFloat(m[9], 64)
 		}
 		res = append(res, b)
 	}
@@ -135,7 +145,7 @@ func cpuModel() string {
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output file (and -compare baseline)")
 	pkg := flag.String("pkg", ".", "package to benchmark")
-	pattern := flag.String("bench", "BenchmarkFullCampaign$|BenchmarkCampaignWorkers$|BenchmarkCampaignScale$|BenchmarkTable2ScanResults$", "benchmark regexp")
+	pattern := flag.String("bench", "BenchmarkFullCampaign$|BenchmarkCampaignWorkers$|BenchmarkCampaignScale$|BenchmarkCampaignCongested$|BenchmarkTable2ScanResults$", "benchmark regexp")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value (fixed so runs are comparable)")
 	baselineKind := flag.String("baseline", "pipeline", "embedded \"before\" section: pipeline (the serial-pipeline numbers) or none (cross-format comparisons live side by side in the \"after\" results)")
 	note := flag.String("note", "", "override the report note")
@@ -189,7 +199,11 @@ func main() {
 			"Output is bit-identical across worker counts (see TestCampaignDeterministicAcrossWorkers). " +
 			"BenchmarkCampaignScale climbs the lazy-world memory ladder: the address-only population grows " +
 			"1x/10x/100x at fixed measurement effort, and the retained live heap (live_heap_bytes) must stay " +
-			"sub-linear — SCALE=100 under 20x SCALE=1, asserted inside the benchmark itself.",
+			"sub-linear — SCALE=100 under 20x SCALE=1, asserted inside the benchmark itself. " +
+			"BenchmarkCampaignCongested runs the campaign behind a utilization-0.9 emulated link " +
+			"(internal/netsim/link) and records x_clean, congested over clean ns/op on the same seeds; " +
+			"queue outcomes are hash draws on the logical clock, so the ratio must stay under 2x " +
+			"(gated in-benchmark when NTPSCAN_BENCH_COMPARE=1).",
 		Before: before,
 		After: Section{
 			Host:    fmt.Sprintf("%s, %s/%s, %d CPU", host.CPUModel, host.GOOS, host.GOARCH, host.NumCPU),

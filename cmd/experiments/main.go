@@ -4,7 +4,8 @@
 // Usage:
 //
 //	experiments [-seed N] [-device-scale F] [-addr-scale F] [-as-scale F]
-//	            [-collect-only] [-ablations] [-out FILE]
+//	            [-collect-only] [-ablations] [-linkplan FILE]
+//	            [-congestion-ladder] [-out FILE]
 //
 // The output is the complete rendered evaluation; EXPERIMENTS.md embeds
 // a run of this command.
@@ -18,6 +19,7 @@ import (
 
 	"ntpscan"
 	"ntpscan/internal/experiments"
+	"ntpscan/internal/netsim/link"
 	"ntpscan/internal/prof"
 )
 
@@ -37,6 +39,8 @@ func main() {
 		out         = flag.String("out", "", "write output to file instead of stdout")
 		storeDir    = flag.String("store", "", "persist campaign results to a columnar store DIR (readable by cmd/analyze)")
 		metricsOut  = flag.String("metrics", "", "write the campaign's Prometheus-format metrics to FILE at exit")
+		linkPlan    = flag.String("linkplan", "", "run the campaign behind the queued-link emulation described by this JSON plan FILE (see internal/netsim/link)")
+		ladder      = flag.Bool("congestion-ladder", false, "run only the congestion ladder: the collection campaign at increasing link utilization")
 	)
 	profCfg := prof.Flags(nil)
 	flag.Parse()
@@ -61,6 +65,36 @@ func main() {
 	if *clusterURL != "" && *collectOnly {
 		fmt.Fprintln(os.Stderr, "experiments: -cluster needs the scan campaign (drop -collect-only)")
 		os.Exit(2)
+	}
+	if *linkPlan != "" {
+		blob, err := os.ReadFile(*linkPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		lp, err := link.Decode(blob)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", *linkPlan, err)
+			os.Exit(1)
+		}
+		opts.LinkPlan = lp
+	}
+	if *ladder {
+		fmt.Fprintln(os.Stderr, "running congestion ladder (collection at increasing link utilization)...")
+		render := experiments.CongestionLadder(*seed)
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, []byte(render), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "write:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "wrote", *out)
+			return
+		}
+		fmt.Print(render)
+		return
 	}
 
 	var b strings.Builder

@@ -15,6 +15,7 @@ import (
 
 	"ntpscan/internal/core"
 	"ntpscan/internal/netsim"
+	"ntpscan/internal/netsim/link"
 	"ntpscan/internal/rng"
 	"ntpscan/internal/world"
 )
@@ -69,6 +70,27 @@ type Spec struct {
 	SlowHeartbeats   int
 	SlowHeartbeatLen time.Duration
 	HeartbeatLag     time.Duration
+
+	// CongestedVantages puts that many vantage servers behind a queued
+	// access link (LinkQueuePkts / LinkBytesPerSec / LinkPropDelay /
+	// LinkUtilization / LinkJitter below); CongestedPrefixes does the
+	// same for that many responsive-device /48 aggregates. Zero links
+	// (all three counts zero) leave the plan byte-identical to a
+	// pre-link one — link rng draws happen after every other draw.
+	CongestedVantages int
+	CongestedPrefixes int
+	LinkQueuePkts     int
+	LinkBytesPerSec   int64
+	LinkPropDelay     time.Duration
+	LinkUtilization   float64
+	LinkJitter        time.Duration
+
+	// RouteChurns schedules that many withdraw→re-announce flaps on
+	// congested prefixes: each withdraws a /48 at a drawn slice and
+	// re-announces it ChurnDownSlices later, flipping reachability and
+	// resetting the prefix's queue process.
+	RouteChurns     int
+	ChurnDownSlices int
 }
 
 // DefaultSpec is a moderately hostile four weeks: a couple of vantage
@@ -202,6 +224,65 @@ func PlanFor(p *core.Pipeline, seed uint64, spec Spec) *netsim.FaultPlan {
 			from, until := window(spec.SlowHeartbeatLen)
 			plan.AddNode(netsim.NodeFault{Kind: netsim.NodeSlowHeartbeat, Node: pickNode(), From: from, Until: until, Delay: spec.HeartbeatLag})
 		}
+	}
+	// Link-layer draws come last of all, so a zero-link spec consumes no
+	// extra rng and its plan stays byte-identical to a pre-link one.
+	// They also use their own derived stream rather than continuing r:
+	// the link plan must not shift when a spec adds node-level faults,
+	// so a congested cluster campaign shares its data-plane physics
+	// with the single-process baseline it is compared against.
+	if spec.CongestedVantages+spec.CongestedPrefixes+spec.RouteChurns > 0 {
+		lr := rng.New(seed ^ p.Cfg.Seed ^ 0x11477)
+		prm := link.Params{
+			QueuePackets: spec.LinkQueuePkts,
+			BytesPerSec:  spec.LinkBytesPerSec,
+			PropDelay:    spec.LinkPropDelay,
+			Utilization:  spec.LinkUtilization,
+			JitterMax:    spec.LinkJitter,
+		}
+		lp := &link.Plan{
+			// Offset the link seed off the fault seed so link and fault
+			// hash streams never correlate even for equal flow identities.
+			Seed:     seed ^ 0x1147,
+			Epoch:    start,
+			SliceLen: world.CollectionWindow / core.CollectSlices,
+			Vantages: map[netip.Addr]link.Params{},
+			Prefixes: map[netip.Prefix]link.Params{},
+		}
+		for i := 0; i < spec.CongestedVantages && len(p.Servers) > 0; i++ {
+			vs := p.Servers[lr.Intn(len(p.Servers))]
+			lp.Vantages[vs.Addr] = prm
+		}
+		var congested []netip.Prefix
+		for i := 0; i < spec.CongestedPrefixes && len(responsive) > 0; i++ {
+			// Drawn from lr, not pickDevice's r: node-fault draws above
+			// must not shift which prefixes sit behind congested links.
+			d := responsive[lr.Intn(len(responsive))]
+			pfx, err := deviceAddr(d).Prefix(48)
+			if err != nil {
+				continue
+			}
+			if _, dup := lp.Prefixes[pfx]; !dup {
+				congested = append(congested, pfx)
+			}
+			lp.Prefixes[pfx] = prm
+		}
+		// Churn flaps target congested prefixes: withdraw at a drawn
+		// slice inside the campaign's middle half (the boot and the tail
+		// stay routable), re-announce ChurnDownSlices later. Slices are
+		// drawn, not windowed, because churn applies at slice
+		// granularity by construction.
+		down := spec.ChurnDownSlices
+		if down <= 0 {
+			down = 8
+		}
+		for i := 0; i < spec.RouteChurns && len(congested) > 0; i++ {
+			pfx := congested[lr.Intn(len(congested))]
+			at := core.CollectSlices/6 + lr.Intn(core.CollectSlices/2)
+			lp.Churn = append(lp.Churn, link.ChurnEvent{Prefix: pfx, Slice: at, Withdraw: true})
+			lp.Churn = append(lp.Churn, link.ChurnEvent{Prefix: pfx, Slice: at + down})
+		}
+		plan.Links = lp
 	}
 	return plan
 }

@@ -94,6 +94,37 @@ func NoGoroutineLeaks(t testing.TB) {
 	})
 }
 
+// CongestedSpec is DefaultSpec plus a congested link layer: two
+// vantage access links and four device /48s behind short queues at 0.9
+// utilization, with two mid-campaign route flaps. Heavy — most
+// congested-path exchanges queue visibly, a tail drops — but the
+// campaign stays productive.
+func CongestedSpec() Spec {
+	s := DefaultSpec()
+	s.CongestedVantages = 2
+	s.CongestedPrefixes = 4
+	s.LinkQueuePkts = 12
+	s.LinkBytesPerSec = 32 << 20 // ~15µs per queued 512B cross packet
+	s.LinkPropDelay = 20 * time.Microsecond
+	s.LinkUtilization = 0.9
+	s.LinkJitter = 25 * time.Microsecond
+	s.RouteChurns = 2
+	s.ChurnDownSlices = 12
+	return s
+}
+
+// SaturatedSpec pushes CongestedSpec to utilization 1.0 on six
+// prefixes with three route flaps: congested links drop or arrive late
+// almost always. The `make chaos` congested leg and the
+// stamped-not-slept benchmark both pin this spec.
+func SaturatedSpec() Spec {
+	s := CongestedSpec()
+	s.LinkUtilization = 1.0
+	s.CongestedPrefixes = 6
+	s.RouteChurns = 3
+	return s
+}
+
 // FaultedPipeline builds a pipeline and installs the plan derived for
 // (planSeed, spec). The plan is a pure function of the arguments, so a
 // second call builds a bit-identical setup — the property resume (and

@@ -203,6 +203,11 @@ func (p *Pipeline) collect(batch func([]netip.Addr), drain func()) {
 // breaker transitions, and checkpoints.
 const collectSlices = 96
 
+// CollectSlices exports the collection window's slice count so plan
+// builders (link route-churn schedules are slice-indexed) can align
+// their grids with the campaign's without duplicating the constant.
+const CollectSlices = collectSlices
+
 // sliceTime maps a slice index onto the logical timeline.
 func (p *Pipeline) sliceTime(s int) time.Time {
 	return p.W.Cfg.Start.Add(world.CollectionWindow * time.Duration(s) / collectSlices)
@@ -268,6 +273,12 @@ func (p *Pipeline) collectFrom(startSlice int, batch func([]netip.Addr), drain f
 		for _, vs := range p.Servers {
 			p.Monitor.Check(vs.ID, p.W.Fabric().HostUp(vs.Addr, clock.Now()))
 		}
+		// Pin the link layer's churn slice and book its events. The
+		// canonical slice time goes in, not clock.Now(): cluster
+		// heartbeats can leave the clock past the boundary, and the
+		// pinned slice must be a pure function of s so every execution
+		// mode draws the same queues.
+		p.W.Fabric().NoteLinkSlice(p.sliceTime(s))
 		p.runShards(shards, workers, s, collectSlices, quotas)
 		// Drain barrier: commit per-shard effect buffers (capture
 		// events, dedup attribution, drop and NTP counter deltas, the

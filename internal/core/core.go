@@ -28,6 +28,7 @@ import (
 	"ntpscan/internal/analysis"
 	"ntpscan/internal/ipv6x"
 	"ntpscan/internal/netsim"
+	"ntpscan/internal/netsim/link"
 	"ntpscan/internal/ntp"
 	"ntpscan/internal/ntppool"
 	"ntpscan/internal/obs"
@@ -273,6 +274,7 @@ func NewPipeline(cfg Config) *Pipeline {
 	p.Monitor.SetMetrics(p.met.pool)
 	p.deployServers()
 	w.Fabric().SetFaultMetrics(netsim.NewFaultMetrics(p.Obs))
+	w.Fabric().SetLinkMetrics(link.NewMetrics(p.Obs))
 	if cfg.Faults != nil {
 		w.Fabric().InstallFaults(cfg.Faults)
 	}
@@ -411,6 +413,15 @@ func (p *Pipeline) captureVia(sh *collectShard, vs *VantageServer, client netip.
 		}
 		return err
 	}
+	// The codec fast path bypasses the fabric, so the link-layer round
+	// trip is modelled here: request through the vantage's link,
+	// response through the client's. A blocked exchange is a drop — the
+	// same accounting as a blacked-out vantage. (FullPacketNTP campaigns
+	// take the SendUDP path above, where the fabric itself traverses.)
+	if !p.W.Fabric().LinkAdmit(client, vs.Addr, port) {
+		sh.dropped[vs.idx]++
+		return fmt.Errorf("core: vantage %s link blocked", vs.ID)
+	}
 	req := ntp.ClientPacket(now)
 	sh.reqBuf = req.AppendEncode(sh.reqBuf[:0])
 	resp, ok := sh.ntp[vs.idx].RespondAppend(netip.AddrPortFrom(client, port), sh.reqBuf, sh.respBuf[:0])
@@ -447,6 +458,13 @@ func (p *Pipeline) volumeBatch(sh *collectShard, vs *VantageServer, n int) {
 		// fault plan's timing.
 		port := 40000 + uint16(sh.ports.Intn(20000))
 		if !fabric.HostUp(vs.Addr, now) {
+			sh.dropped[vs.idx]++
+			continue
+		}
+		// Same link-layer round trip as captureVia's codec path; the
+		// admit hash excludes payload, so batch and per-event paths
+		// agree on which exchanges survive.
+		if !fabric.LinkAdmit(addr, vs.Addr, port) {
 			sh.dropped[vs.idx]++
 			continue
 		}

@@ -17,6 +17,8 @@ import (
 	"ntpscan/internal/cluster/transport"
 	"ntpscan/internal/core"
 	"ntpscan/internal/hitlist"
+	"ntpscan/internal/netsim"
+	"ntpscan/internal/netsim/link"
 	"ntpscan/internal/store"
 	"ntpscan/internal/world"
 )
@@ -72,6 +74,14 @@ type Options struct {
 	ClusterURL string
 	// NodeID is this process's node index under ClusterURL (0-based).
 	NodeID int
+	// LinkPlan, when non-nil, puts the campaign's flows behind the
+	// deterministic queued-link emulation (internal/netsim/link):
+	// bandwidth, propagation delay, finite queues, and route churn, all
+	// stamped on the logical clock. Installed as the pipeline's fault
+	// plan before the campaign starts; outputs stay byte-identical at
+	// any Workers/Nodes count because queue outcomes are pure functions
+	// of (seed, link, flow, slice).
+	LinkPlan *link.Plan
 }
 
 func (o *Options) fill() {
@@ -90,6 +100,24 @@ func (o *Options) fill() {
 	if o.Workers == 0 {
 		o.Workers = 64
 	}
+}
+
+// installLinkPlan wraps a link plan in a fault plan and installs it.
+// A nil plan leaves the pipeline untouched (no fabric intervention at
+// all), so zero-link suites stay byte-identical to pre-link ones. A
+// plan without a time grid inherits the campaign's: epoch at the
+// collection start, one churn slice per collection slice.
+func installLinkPlan(p *core.Pipeline, lp *link.Plan) {
+	if lp == nil {
+		return
+	}
+	if lp.Epoch.IsZero() {
+		lp.Epoch = p.W.Cfg.Start
+	}
+	if lp.SliceLen <= 0 {
+		lp.SliceLen = world.CollectionWindow / core.CollectSlices
+	}
+	p.InstallFaults(&netsim.FaultPlan{Seed: lp.Seed, Links: lp})
 }
 
 // Suite is one executed campaign with all derived datasets.
@@ -125,6 +153,7 @@ func Run(opts Options) *Suite {
 		CollectShards: opts.CollectShards,
 		CaptureBudget: opts.CaptureBudget,
 	})
+	installLinkPlan(p, opts.LinkPlan)
 	s := &Suite{Opts: opts, P: p}
 	ctx := context.Background()
 
@@ -185,6 +214,7 @@ func CollectOnly(opts Options) *Suite {
 		CollectShards: opts.CollectShards,
 		CaptureBudget: opts.CaptureBudget,
 	})
+	installLinkPlan(p, opts.LinkPlan)
 	s := &Suite{Opts: opts, P: p}
 	p.CollectOnly()
 	s.HL = p.BuildHitlist(hitlist.Config{})

@@ -14,6 +14,8 @@ import (
 	"net"
 	"net/netip"
 	"time"
+
+	"ntpscan/internal/netsim/link"
 )
 
 // FaultKind selects the pathology a Fault injects.
@@ -58,14 +60,14 @@ func (k FaultKind) String() string {
 // (Addr valid) or every address under Prefix (Prefix valid); the
 // window is [From, Until) on the fabric's logical clock.
 type Fault struct {
-	Kind FaultKind     `json:"kind"`
-	Addr netip.Addr    `json:"addr,omitempty"`
+	Kind FaultKind  `json:"kind"`
+	Addr netip.Addr `json:"addr,omitempty"`
 	// Prefix scopes the fault to a routing aggregate (e.g. a /48 going
 	// dark). Ignored when Addr is valid.
-	Prefix netip.Prefix  `json:"prefix,omitempty"`
-	From   time.Time     `json:"from"`
-	Until  time.Time     `json:"until"`
-	Prob   float64       `json:"prob,omitempty"`    // FaultLoss drop probability
+	Prefix  netip.Prefix  `json:"prefix,omitempty"`
+	From    time.Time     `json:"from"`
+	Until   time.Time     `json:"until"`
+	Prob    float64       `json:"prob,omitempty"`    // FaultLoss drop probability
 	Latency time.Duration `json:"latency,omitempty"` // FaultSlow injected delay
 }
 
@@ -137,6 +139,13 @@ type FaultPlan struct {
 	// entirely — they gate nothing on the packet path — so a plan with
 	// only node faults leaves a single-process campaign untouched.
 	Nodes []NodeFault `json:"nodes,omitempty"`
+	// Links, when set, routes every flow through the deterministic
+	// link-layer emulation (queues, bandwidth, propagation delay, route
+	// churn — see internal/netsim/link). Links compose with the fault
+	// vocabulary above: faults decide first whether a packet exists at
+	// all, links decide how long it queues and whether it survives the
+	// queue.
+	Links *link.Plan `json:"links,omitempty"`
 
 	// Indexes, built by InstallFaults: exact-address faults by address,
 	// prefix faults as a linear list (plans hold few prefixes).
@@ -219,6 +228,9 @@ func (p *FaultPlan) NodeDiesWithin(node int, from, until time.Time) bool {
 
 // build prepares the lookup indexes.
 func (p *FaultPlan) build() {
+	if p.Links != nil {
+		p.Links.Build()
+	}
 	p.byAddr = make(map[netip.Addr][]int)
 	p.byPrefix = p.byPrefix[:0]
 	for i := range p.Faults {

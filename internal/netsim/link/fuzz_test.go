@@ -1,0 +1,41 @@
+package link
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLinkPlanDecode exercises the LinkPlan JSON codec: Decode must
+// never panic, and every accepted plan must re-encode byte-stably
+// (Encode∘Decode∘Encode is the identity on the first Encode) and
+// survive Validate — the property the pinned-plan chaos legs lean on.
+func FuzzLinkPlanDecode(f *testing.F) {
+	f.Add([]byte(`{"seed":1}`))
+	f.Add([]byte(`{"seed":42,"default":{"queue_packets":8,"bytes_per_sec":1048576,"prop_delay_ns":10000,"utilization":0.9,"jitter_max_ns":5000}}`))
+	f.Add([]byte(`{"seed":7,"prefixes":{"2001:db8:1::/48":{"queue_packets":4}},"churn":[{"prefix":"2001:db8:1::/48","slice":10,"withdraw":true},{"prefix":"2001:db8:1::/48","slice":20}],"epoch":"2025-01-01T00:00:00Z","slice_len_ns":1000000000}`))
+	f.Add([]byte(`{"seed":1,"default":{"queue_packets":0,"queue_bytes":0}}`))
+	f.Add([]byte(`{"seed":1,"default":{"prop_delay_ns":-5}}`))
+	f.Add([]byte(`{"seed":3,"churn":[{"prefix":"2001:db8:2::/48","slice":5,"withdraw":true},{"prefix":"2001:db8:2::/48","slice":5},{"prefix":"2001:db8:2::/48","slice":3,"withdraw":true}],"epoch":"2025-01-01T00:00:00Z","slice_len_ns":1000000000}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := p.Encode()
+		if err != nil {
+			t.Fatalf("accepted plan failed to encode: %v", err)
+		}
+		q, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\n%s", err, enc)
+		}
+		enc2, err := q.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("codec not byte-stable:\n%s\n%s", enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package link
+
+import (
+	"time"
+
+	"ntpscan/internal/obs"
+)
+
+// Metrics is the link-layer observability surface. Families and their
+// conservation laws:
+//
+//	link_enqueued_total == link_delivered_total
+//	                     + link_dropped_tail_total
+//	                     + link_dropped_churn_total
+//	link_sojourn_us histogram count == link_delivered_total
+//	link_queue_depth histogram count == link_delivered_total
+//	                                  + link_dropped_tail_total
+//	link_late_total <= link_delivered_total
+//
+// (Late packets are delivered by the link but timed out by the flow,
+// so they count as delivered here and as timeouts at the scan layer.)
+type Metrics struct {
+	Enqueued     *obs.Counter
+	Delivered    *obs.Counter
+	DroppedTail  *obs.Counter
+	DroppedChurn *obs.Counter
+	Late         *obs.Counter
+	ChurnEvents  *obs.Counter
+	Depth        *obs.Histogram
+	Sojourn      *obs.Histogram
+	Withdrawn    *obs.Gauge
+}
+
+// NewMetrics registers (or re-fetches — registration is get-or-create)
+// the link_* families on a registry.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Enqueued:     r.NewCounter("link_enqueued_total", "packets that entered an emulated link"),
+		Delivered:    r.NewCounter("link_delivered_total", "packets that came out of an emulated link (late ones included)"),
+		DroppedTail:  r.NewCounter("link_dropped_tail_total", "packets tail-dropped by a full link queue"),
+		DroppedChurn: r.NewCounter("link_dropped_churn_total", "packets dropped because route churn had withdrawn the prefix"),
+		Late:         r.NewCounter("link_late_total", "delivered packets whose sojourn exceeded the flow's patience"),
+		ChurnEvents:  r.NewCounter("link_churn_events_total", "route announce/withdraw events applied at slice boundaries"),
+		Depth:        r.NewHistogram("link_queue_depth", "cross-traffic backlog (packets) found on arrival", []int64{0, 1, 2, 4, 8, 16, 32, 64}),
+		Sojourn:      r.NewHistogram("link_sojourn_us", "stamped link sojourn of delivered packets (microseconds)", []int64{1, 10, 50, 100, 500, 1000, 10000}),
+		Withdrawn:    r.NewGauge("link_withdrawn_prefixes", "prefixes currently withdrawn by route churn"),
+	}
+}
+
+// Account books one traversal outcome. Nil-receiver and miss safe, so
+// call sites don't branch.
+func (m *Metrics) Account(o Outcome) {
+	if m == nil || !o.Hit {
+		return
+	}
+	m.Enqueued.Inc()
+	switch {
+	case o.Withdrawn:
+		m.DroppedChurn.Inc()
+	case o.DropTail:
+		m.DroppedTail.Inc()
+		m.Depth.Observe(int64(o.Depth))
+	default:
+		m.Delivered.Inc()
+		m.Depth.Observe(int64(o.Depth))
+		m.Sojourn.Observe(int64(o.Sojourn / time.Microsecond))
+		if o.Late {
+			m.Late.Inc()
+		}
+	}
+}

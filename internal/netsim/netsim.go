@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ntpscan/internal/netsim/link"
 )
 
 // StreamHandler serves one accepted stream connection, like the argument
@@ -125,6 +127,11 @@ type Network struct {
 
 	// fm, when set, counts fault-plan interventions (see obsmetrics.go).
 	fm atomic.Pointer[FaultMetrics]
+	// lm, when set, books link-traversal outcomes (see linkfabric.go).
+	lm atomic.Pointer[link.Metrics]
+	// linkSlice is the pinned route-churn slice, advanced by
+	// NoteLinkSlice at campaign slice boundaries.
+	linkSlice atomic.Int64
 }
 
 type snifferEntry struct {
@@ -276,6 +283,12 @@ func (n *Network) DialTCP(ctx context.Context, src netip.Addr, dst netip.AddrPor
 			return n.blackholeDial(ctx)
 		}
 	}
+	// The SYN then traverses the destination's emulated link: a tail
+	// drop or a withdrawn route blackholes the dial, and a sojourn past
+	// the dialer's patience is a timeout — stamped, never slept.
+	if out := n.traverseTCP(src, dst, attempt); out.Hit && out.Blocked() {
+		return n.blackholeDial(ctx)
+	}
 
 	n.mu.RLock()
 	host, ok := n.hostAtLocked(dst.Addr())
@@ -398,6 +411,15 @@ func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte) {
 		}
 		return
 	}
+	// The request then traverses the destination's emulated link. A
+	// blocked outcome — dropped, or delivered past the dialer's
+	// patience — swallows the whole exchange before the handler runs:
+	// delivery is synchronous on the logical clock, so a datagram that
+	// cannot beat the deadline must never generate server-side effects.
+	req := n.traverseUDP('q', src.Addr(), dst.Addr(), dst.Port(), payload, n.cfg.DialTimeout)
+	if req.Hit && req.Blocked() {
+		return
+	}
 
 	n.mu.RLock()
 	if bound, ok := n.udpBinds[dst]; ok {
@@ -421,6 +443,11 @@ func (n *Network) SendUDP(src, dst netip.AddrPort, payload []byte) {
 					m.UDPDrops.Inc()
 				}
 			}
+			continue
+		}
+		// Responses traverse the client's link with whatever patience
+		// the request's sojourn left of the round-trip budget.
+		if out := n.traverseUDP('r', dst.Addr(), src.Addr(), dst.Port(), resp, n.cfg.DialTimeout-req.Sojourn); out.Hit && out.Blocked() {
 			continue
 		}
 		if eff.garble {

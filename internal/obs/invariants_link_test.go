@@ -1,0 +1,197 @@
+package obs_test
+
+// Link-layer conservation laws: the queued-link emulation in
+// internal/netsim/link keeps books that must balance after any
+// campaign — every enqueued packet is delivered, tail-dropped, or
+// churn-dropped, and the sojourn/depth histograms count exactly the
+// outcomes that observed them. The telemetry stream carrying the
+// link_* families is part of the deterministic output surface, so it
+// must not move across worker counts or across a resume.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"ntpscan/internal/chaos"
+	"ntpscan/internal/core"
+	"ntpscan/internal/netsim/link"
+)
+
+// runLinkCampaign runs a congested-fabric campaign for a seed and
+// spec and returns the pipeline plus its telemetry stream.
+func runLinkCampaign(t *testing.T, seed uint64, workers int, spec chaos.Spec) (*core.Pipeline, *bytes.Buffer) {
+	t.Helper()
+	cfg := chaos.Config(seed)
+	cfg.Workers = workers
+	p := chaos.FaultedPipeline(cfg, seed+1, spec)
+	var tel bytes.Buffer
+	if _, err := p.RunCampaign(context.Background(), core.CampaignOpts{Telemetry: &tel}); err != nil {
+		t.Fatal(err)
+	}
+	return p, &tel
+}
+
+func TestLinkConservationUnderCongestion(t *testing.T) {
+	specs := []struct {
+		name string
+		spec chaos.Spec
+		// Saturated queues (utilization 1.0) never drain, so every
+		// admission tail-drops; the merely congested plan delivers too.
+		saturated bool
+	}{
+		{"congested", chaos.CongestedSpec(), false},
+		{"saturated", chaos.SaturatedSpec(), true},
+	}
+	for _, tc := range specs {
+		tc := tc
+		for _, seed := range chaos.Seeds() {
+			seed := seed
+			t.Run(fmt.Sprintf("%s/seed=%d", tc.name, seed), func(t *testing.T) {
+				p, _ := runLinkCampaign(t, seed, 8, tc.spec)
+
+				// NewMetrics is get-or-create on the registry, so this
+				// re-fetches the exact handles the fabric accounted on.
+				lm := link.NewMetrics(p.Obs)
+
+				enqueued := lm.Enqueued.Value()
+				delivered := lm.Delivered.Value()
+				tail := lm.DroppedTail.Value()
+				churn := lm.DroppedChurn.Value()
+				late := lm.Late.Value()
+				if enqueued == 0 {
+					t.Fatal("saturated campaign never traversed an emulated link")
+				}
+
+				// Packet conservation: every enqueued packet has exactly one
+				// fate — delivered, tail-dropped, or dropped by a withdrawn
+				// route. Nothing is lost, nothing double-counted.
+				if enqueued != delivered+tail+churn {
+					t.Errorf("link conservation violated: enqueued %d != delivered %d + tail %d + churn %d",
+						enqueued, delivered, tail, churn)
+				}
+
+				// Sojourn is observed for delivered packets only; depth is
+				// observed for every packet that reached queue admission
+				// (delivered or tail-dropped — churn drops never queue).
+				if n := lm.Sojourn.Count(); n != delivered {
+					t.Errorf("sojourn histogram count %d != delivered %d", n, delivered)
+				}
+				if n := lm.Depth.Count(); n != delivered+tail {
+					t.Errorf("depth histogram count %d != delivered %d + tail-dropped %d", n, delivered, tail)
+				}
+
+				// Late packets are a subset of deliveries: a packet that
+				// missed its patience still cleared the queue.
+				if late > delivered {
+					t.Errorf("link_late_total %d > link_delivered_total %d", late, delivered)
+				}
+
+				// The plan must actually bite.
+				if tc.saturated {
+					if tail == 0 {
+						t.Error("utilization-1.0 plan never tail-dropped a packet")
+					}
+				} else if delivered == 0 {
+					t.Error("utilization-0.9 plan never delivered a packet")
+				}
+				if churnEvents := lm.ChurnEvents.Value(); churnEvents == 0 {
+					t.Error("plan schedules route churn but no churn event was booked")
+				} else if churn == 0 {
+					t.Error("route churn fired but no packet was dropped on a withdrawn prefix")
+				}
+				t.Logf("link books: enqueued %d, delivered %d, tail %d, churn %d, late %d",
+					enqueued, delivered, tail, churn, late)
+			})
+		}
+	}
+}
+
+// The link_* families ride the same per-slice telemetry stream as
+// everything else, and Workers is pure concurrency: the bytes must not
+// move, and every slice record must carry the link series.
+func TestLinkTelemetryIdenticalAcrossWorkers(t *testing.T) {
+	seed := chaos.Seeds()[0]
+	_, base := runLinkCampaign(t, seed, 1, chaos.SaturatedSpec())
+	if base.Len() == 0 {
+		t.Fatal("no telemetry produced")
+	}
+	lines := bytes.Split(bytes.TrimSuffix(base.Bytes(), []byte("\n")), []byte("\n"))
+	var last struct {
+		Metrics map[string]int64 `json:"metrics"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"link_enqueued_total", "link_delivered_total", "link_dropped_tail_total",
+		"link_dropped_churn_total", "link_late_total", "link_churn_events_total",
+		"link_withdrawn_prefixes",
+	} {
+		if _, ok := last.Metrics[key]; !ok {
+			t.Errorf("telemetry final slice missing series %q", key)
+		}
+	}
+	for _, workers := range []int{3, 8} {
+		_, tel := runLinkCampaign(t, seed, workers, chaos.SaturatedSpec())
+		if !bytes.Equal(tel.Bytes(), base.Bytes()) {
+			t.Errorf("workers=%d congested telemetry diverges from workers=1 (%d vs %d bytes)",
+				workers, tel.Len(), base.Len())
+		}
+	}
+}
+
+// A resumed congested campaign continues the telemetry byte-for-byte:
+// the checkpoint snapshot carries the link counters, and the resumed
+// run replays the same pure-hash queue outcomes from the resume slice
+// onward.
+func TestLinkTelemetryByteExactAcrossResume(t *testing.T) {
+	seed := chaos.Seeds()[0]
+	spec := chaos.SaturatedSpec()
+
+	var fullTel, fullOut bytes.Buffer
+	var cps []*core.Checkpoint
+	p1 := chaos.FaultedPipeline(chaos.Config(seed), seed+1, spec)
+	if _, err := p1.RunCampaign(context.Background(), core.CampaignOpts{
+		Out:             &fullOut,
+		Telemetry:       &fullTel,
+		CheckpointEvery: 24,
+		OnCheckpoint:    func(cp *core.Checkpoint) { cps = append(cps, cp) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) < 2 {
+		t.Fatalf("expected >=2 checkpoints, got %d", len(cps))
+	}
+
+	blob, err := json.Marshal(cps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp core.Checkpoint
+	if err := json.Unmarshal(blob, &cp); err != nil {
+		t.Fatal(err)
+	}
+
+	var restTel, restOut bytes.Buffer
+	p2 := chaos.FaultedPipeline(chaos.Config(seed), seed+1, spec)
+	if _, err := p2.ResumeCampaign(context.Background(), &cp, core.CampaignOpts{
+		Out:             &restOut,
+		Telemetry:       &restTel,
+		CheckpointEvery: 24,
+		OnCheckpoint:    func(*core.Checkpoint) {},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := bytes.SplitAfter(fullTel.Bytes(), []byte("\n"))
+	var want bytes.Buffer
+	for _, ln := range lines[cp.NextSlice:] {
+		want.Write(ln)
+	}
+	if !bytes.Equal(restTel.Bytes(), want.Bytes()) {
+		t.Fatalf("resumed congested telemetry diverges: %d bytes vs %d expected", restTel.Len(), want.Len())
+	}
+}
